@@ -1,0 +1,343 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper (see DESIGN.md's per-experiment index). Each benchmark runs
+// the corresponding experiment on the MPC simulator and reports the
+// measured load as custom metrics (load = max tuples received by a server
+// in a round; rounds = communication rounds), alongside the usual ns/op.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+)
+
+// benchScale keeps per-iteration work moderate; the experiments command
+// runs the full DefaultScale.
+func benchScale() harness.Scale { return harness.Scale{P: 16, IN: 1 << 11, Seed: 2019} }
+
+// measure runs one algorithm per iteration and reports load/round metrics.
+func measure(b *testing.B, in *core.Instance, p int,
+	algo func(c *mpc.Cluster, em mpc.Emitter)) {
+	b.Helper()
+	var load, rounds, out int
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(p)
+		em := mpc.NewCountEmitter(in.Ring)
+		algo(c, em)
+		load, rounds, out = c.MaxLoad(), c.Rounds(), int(em.N)
+	}
+	b.ReportMetric(float64(load), "load")
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(out), "OUT")
+}
+
+// --- Figure 1: classification ---------------------------------------------
+
+func BenchmarkFig1_Classify(b *testing.B) {
+	cat := hypergraph.Catalog()
+	for i := 0; i < b.N; i++ {
+		for _, e := range cat {
+			_ = e.Q.Classify()
+		}
+	}
+}
+
+// --- Figure 2: attribute forests -------------------------------------------
+
+func BenchmarkFig2_AttributeForest(b *testing.B) {
+	q1, q2 := hypergraph.Q1TallFlat(), hypergraph.Q2Hierarchical()
+	for i := 0; i < b.N; i++ {
+		_ = q1.AttributeForest()
+		_ = q2.AttributeForest()
+	}
+}
+
+// --- Figure 3: join order on the hard instance -----------------------------
+
+func BenchmarkFig3_JoinOrder(b *testing.B) {
+	s := benchScale()
+	for _, doubled := range []bool{false, true} {
+		var in *core.Instance
+		name := "onesided"
+		if doubled {
+			in = gen.YannakakisHardDoubled(s.IN, 8*s.IN)
+			name = "doubled"
+		} else {
+			in = gen.YannakakisHard(s.IN, 8*s.IN)
+		}
+		b.Run(name+"/yannakakis_fwd", func(b *testing.B) {
+			measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.Yannakakis(c, in, []int{0, 1, 2}, s.Seed, em)
+			})
+		})
+		b.Run(name+"/yannakakis_bwd", func(b *testing.B) {
+			measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.Yannakakis(c, in, []int{2, 1, 0}, s.Seed, em)
+			})
+		})
+		b.Run(name+"/line3", func(b *testing.B) {
+			measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.Line3(c, in, s.Seed, em)
+			})
+		})
+		b.Run(name+"/acyclic", func(b *testing.B) {
+			measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.AcyclicJoin(c, in, s.Seed, em)
+			})
+		})
+	}
+}
+
+// --- Figure 4: line-3 OUT sweep on the random hard instance ----------------
+
+func BenchmarkFig4_Line3Sweep(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	for _, f := range []int{1, 4, 16, 64} {
+		in := gen.Line3Random(rng, s.IN, s.IN*f)
+		b.Run(fmt.Sprintf("outfactor=%d/line3", f), func(b *testing.B) {
+			measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.Line3(c, in, s.Seed, em)
+			})
+		})
+		b.Run(fmt.Sprintf("outfactor=%d/yannakakis", f), func(b *testing.B) {
+			measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.Yannakakis(c, in, nil, s.Seed, em)
+			})
+		})
+	}
+}
+
+// --- Figure 5: join tree construction ---------------------------------------
+
+func BenchmarkFig5_JoinTree(b *testing.B) {
+	q := hypergraph.Fig5Example()
+	for i := 0; i < b.N; i++ {
+		if _, ok := q.GYO(); !ok {
+			b.Fatal("Fig5 query must be acyclic")
+		}
+	}
+}
+
+// --- Figure 6 / Theorem 11: triangle sweep ----------------------------------
+
+func BenchmarkFig6_TriangleSweep(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	for _, f := range []int{1, 4, 16} {
+		in := gen.TriangleRandom(rng, s.IN, s.IN*f)
+		b.Run(fmt.Sprintf("outfactor=%d", f), func(b *testing.B) {
+			measure(b, in, 27, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.Triangle(c, in, s.Seed, em)
+			})
+		})
+	}
+}
+
+// --- Table 1: one row per join class ----------------------------------------
+
+func BenchmarkTable1_TallFlat(b *testing.B) {
+	s := benchScale()
+	in := gen.TallFlatSkewed(96, s.IN/2)
+	b.Run("binhc", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.BinHC(c, in, s.Seed, false, em)
+		})
+	})
+	b.Run("rhier", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.RHier(c, in, s.Seed, em)
+		})
+	})
+}
+
+func BenchmarkTable1_RHierarchical(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.RHierSkewed(rng, 4, 64, s.IN/2)
+	b.Run("binhc", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.BinHC(c, in, s.Seed, false, em)
+		})
+	})
+	b.Run("rhier", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.RHier(c, in, s.Seed, em)
+		})
+	})
+	b.Run("yannakakis", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Yannakakis(c, in, nil, s.Seed, em)
+		})
+	})
+}
+
+func BenchmarkTable1_RHierDangling(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.WithDangling(gen.RHierSkewed(rng, 4, 64, s.IN/2), 1, s.IN)
+	b.Run("binhc_oneround", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.BinHC(c, in, s.Seed, false, em)
+		})
+	})
+	b.Run("reduce_binhc", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.BinHC(c, in, s.Seed, true, em)
+		})
+	})
+	b.Run("rhier", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.RHier(c, in, s.Seed, em)
+		})
+	})
+}
+
+func BenchmarkTable1_Acyclic(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.Line3Random(rng, s.IN, 8*s.IN)
+	b.Run("yannakakis", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Yannakakis(c, in, nil, s.Seed, em)
+		})
+	})
+	b.Run("line3", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Line3(c, in, s.Seed, em)
+		})
+	})
+	b.Run("acyclic", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.AcyclicJoin(c, in, s.Seed, em)
+		})
+	})
+}
+
+func BenchmarkTable1_Triangle(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.TriangleRandom(rng, s.IN, 4*s.IN)
+	measure(b, in, 27, func(c *mpc.Cluster, em mpc.Emitter) {
+		core.Triangle(c, in, s.Seed, em)
+	})
+}
+
+// --- E2: Theorem 4 closed form ----------------------------------------------
+
+func BenchmarkE2_RHierClosedForm(b *testing.B) {
+	s := benchScale()
+	for _, hub := range []int{16, 64, 256} {
+		rng := mpc.NewRng(s.Seed)
+		in := gen.RHierSkewed(rng, 2, hub, s.IN/4)
+		b.Run(fmt.Sprintf("hub=%d", hub), func(b *testing.B) {
+			measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.RHier(c, in, s.Seed, em)
+			})
+		})
+	}
+}
+
+// --- E3: acyclic vs Yannakakis beyond line-3 --------------------------------
+
+func BenchmarkE3_AcyclicVsYannakakis(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.LineKUniform(rng, 4, s.IN/4, 48)
+	b.Run("yannakakis", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Yannakakis(c, in, nil, s.Seed, em)
+		})
+	})
+	b.Run("acyclic", func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.AcyclicJoin(c, in, s.Seed, em)
+		})
+	})
+}
+
+// --- E4: join-aggregate ------------------------------------------------------
+
+func BenchmarkE4_Aggregate(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.Line3Random(rng, s.IN, 32*s.IN)
+	y := hypergraph.NewAttrSet(2, 3)
+	var load int
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(s.P)
+		core.Aggregate(c, in, y, s.Seed, nil)
+		load = c.MaxLoad()
+	}
+	b.ReportMetric(float64(load), "load")
+}
+
+func BenchmarkE4_CountOutput(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.Line3Random(rng, s.IN, 32*s.IN)
+	var load int
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(s.P)
+		core.CountOutput(c, in, s.Seed)
+		load = c.MaxLoad()
+	}
+	b.ReportMetric(float64(load), "load")
+}
+
+// --- E5: instance-optimality gap (Corollary 2/3) -----------------------------
+
+func BenchmarkE5_InstanceOptimalityGap(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.Line3Random(rng, s.IN, s.P*s.IN)
+	measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+		core.Line3(c, in, s.Seed, em)
+	})
+}
+
+// --- Ablations ----------------------------------------------------------------
+
+func BenchmarkAblation_Tau(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.Line3Random(rng, s.IN, 16*s.IN)
+	for _, tau := range []int64{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.Line3WithTau(c, in, tau, s.Seed, em)
+			})
+		})
+	}
+}
+
+// --- Microbenchmarks of the substrate ----------------------------------------
+
+func BenchmarkMicro_BinaryJoin(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.LineKUniform(rng, 2, s.IN, 64)
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(s.P)
+		dists := core.LoadInstance(c, in)
+		core.BinaryJoin(dists[0], dists[1], in.Ring, s.Seed, nil)
+	}
+}
+
+func BenchmarkMicro_FullReduce(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.LineKUniform(rng, 4, s.IN/4, 48)
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(s.P)
+		dists := core.LoadInstance(c, in)
+		core.FullReduce(in, dists, s.Seed)
+	}
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation as text tables (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results).
+//
+// Usage:
+//
+//	experiments                 # run everything at the default scale
+//	experiments -run fig4       # one experiment
+//	experiments -p 128 -in 32768
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	which := flag.String("run", "all",
+		"experiment: all|fig1|fig2|fig3|fig4|fig5|fig6|table1|e2|e3|e4|e5|tau|grid")
+	p := flag.Int("p", 0, "servers (0 = default scale)")
+	inSize := flag.Int("in", 0, "input size (0 = default scale)")
+	seed := flag.Uint64("seed", 0, "seed (0 = default scale)")
+	flag.Parse()
+
+	s := harness.DefaultScale()
+	if *p > 0 {
+		s.P = *p
+	}
+	if *inSize > 0 {
+		s.IN = *inSize
+	}
+	if *seed > 0 {
+		s.Seed = *seed
+	}
+
+	sel := strings.ToLower(*which)
+	show := func(name string) bool { return sel == "all" || sel == name }
+
+	if show("fig1") {
+		fmt.Println(harness.Fig1Classification().Render())
+	}
+	if show("fig2") {
+		fmt.Println(harness.Fig2Forests())
+	}
+	if show("fig3") {
+		fmt.Println(harness.Fig3JoinOrder(s).Render())
+	}
+	if show("fig4") {
+		fmt.Println(harness.Fig4Line3Sweep(s).Render())
+	}
+	if show("fig5") {
+		fmt.Println(harness.Fig5JoinTree())
+	}
+	if show("fig6") {
+		fmt.Println(harness.Fig6TriangleSweep(s).Render())
+	}
+	if show("table1") {
+		fmt.Println(harness.Table1Loads(s).Render())
+	}
+	if show("e2") {
+		fmt.Println(harness.E2RHierClosedForm(s).Render())
+	}
+	if show("e3") {
+		fmt.Println(harness.E3AcyclicVsYannakakis(s).Render())
+	}
+	if show("e4") {
+		fmt.Println(harness.E4Aggregate(s).Render())
+	}
+	if show("e5") {
+		fmt.Println(harness.E5InstanceGap(s).Render())
+	}
+	if show("tau") {
+		fmt.Println(harness.AblationTau(s).Render())
+	}
+	if show("grid") {
+		fmt.Println(harness.AblationGrid(s).Render())
+	}
+}

@@ -1,0 +1,97 @@
+// Command joinrun executes one algorithm on one generated instance and
+// reports the measured load, round count and output size next to the bound
+// the algorithm is supposed to track.
+//
+// Usage:
+//
+//	joinrun -algo line3      -in 16384 -out 131072 -p 64
+//	joinrun -algo yannakakis -family hard   -in 16384 -out 131072
+//	joinrun -algo rhier      -family rhier  -in 16384
+//	joinrun -algo triangle   -family triangle -in 16384 -out 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/mpc"
+	"repro/internal/stats"
+)
+
+func main() {
+	algo := flag.String("algo", "acyclic", "algorithm: naive|yannakakis|line3|acyclic|rhier|binhc|triangle|count")
+	family := flag.String("family", "random", "instance family: random|hard|doubled|rhier|tallflat|triangle")
+	inSize := flag.Int("in", 1<<14, "target input size IN")
+	outSize := flag.Int("out", 1<<17, "target output size OUT (family-dependent)")
+	p := flag.Int("p", 64, "number of servers")
+	seed := flag.Uint64("seed", 2019, "random seed")
+	flag.Parse()
+
+	rng := mpc.NewRng(*seed)
+	var in *core.Instance
+	switch *family {
+	case "random":
+		in = gen.Line3Random(rng, *inSize, *outSize)
+	case "hard":
+		in = gen.YannakakisHard(*inSize, *outSize)
+	case "doubled":
+		in = gen.YannakakisHardDoubled(*inSize, *outSize)
+	case "rhier":
+		in = gen.RHierSkewed(rng, 4, isqrt(*inSize), *inSize/2)
+	case "tallflat":
+		in = gen.TallFlatSkewed(isqrt(4**inSize), *inSize/2)
+	case "triangle":
+		in = gen.TriangleRandom(rng, *inSize, *outSize)
+	default:
+		fmt.Fprintf(os.Stderr, "joinrun: unknown family %q\n", *family)
+		os.Exit(1)
+	}
+
+	want := core.NaiveCount(in)
+	c := mpc.NewCluster(*p)
+	em := mpc.NewCountEmitter(in.Ring)
+	switch *algo {
+	case "naive":
+		fmt.Printf("naive: IN=%d OUT=%d\n", in.IN(), want)
+		return
+	case "count":
+		got := core.CountOutput(c, in, *seed)
+		fmt.Printf("count: IN=%d OUT=%d load=%d rounds=%d (linear bound %.0f)\n",
+			in.IN(), got, c.MaxLoad(), c.Rounds(), stats.Linear(in.IN(), *p))
+		return
+	case "yannakakis":
+		core.Yannakakis(c, in, nil, *seed, em)
+	case "line3":
+		core.Line3(c, in, *seed, em)
+	case "acyclic":
+		core.AcyclicJoin(c, in, *seed, em)
+	case "rhier":
+		core.RHier(c, in, *seed, em)
+	case "binhc":
+		core.BinHC(c, in, *seed, false, em)
+	case "triangle":
+		core.Triangle(c, in, *seed, em)
+	default:
+		fmt.Fprintf(os.Stderr, "joinrun: unknown algorithm %q\n", *algo)
+		os.Exit(1)
+	}
+	status := "OK"
+	if em.N != want {
+		status = fmt.Sprintf("MISMATCH (oracle %d)", want)
+	}
+	fmt.Printf("%s on %s: IN=%d OUT=%d p=%d\n", *algo, *family, in.IN(), em.N, *p)
+	fmt.Printf("  load L = %d   rounds = %d   verification: %s\n", c.MaxLoad(), c.Rounds(), status)
+	fmt.Printf("  bounds: linear IN/p = %.0f   Yannakakis IN/p+OUT/p = %.0f   paper IN/p+√(IN·OUT/p) = %.0f\n",
+		stats.Linear(in.IN(), *p), stats.Yannakakis(in.IN(), want, *p), stats.Acyclic(in.IN(), want, *p))
+}
+
+func isqrt(x int) int {
+	r := 1
+	for r*r < x {
+		r++
+	}
+	return r
+}

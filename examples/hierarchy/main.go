@@ -1,0 +1,83 @@
+// Hierarchy: a hierarchical query from the probabilistic-database setting
+// the paper cites (Section 1.4): users(U) ⋈ logins(U,D) ⋈ purchases(U,P).
+// The attribute forest is U → {D, P}; per-user, logins × purchases is a
+// keyed product, so a few power users dominate the output — the skew that
+// separates instance classes in MPC (Section 1.3).
+//
+// The example compares the paper's instance-optimal §3.2 algorithm against
+// one-round BinHC and Yannakakis, relative to the per-instance lower bound
+// L_instance(p, R) of equation (2).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func main() {
+	q := hypergraph.New(
+		hypergraph.NewAttrSet(1),    // users(U)
+		hypergraph.NewAttrSet(1, 2), // logins(U, D)
+		hypergraph.NewAttrSet(1, 3), // purchases(U, P)
+	)
+	fmt.Printf("users ⋈ logins ⋈ purchases is %s\n", q.Classify())
+
+	users := relation.New("users", relation.NewSchema(1))
+	logins := relation.New("logins", relation.NewSchema(1, 2))
+	purchases := relation.New("purchases", relation.NewSchema(1, 3))
+	// 3 power users: 300 logins and 300 purchases each (90 000 output rows
+	// per user); 3000 regular users with 1 login and 1 purchase.
+	id := 0
+	addUser := func(u, nLogin, nPurch int) {
+		users.Add(relation.Value(u))
+		for i := 0; i < nLogin; i++ {
+			logins.Add(relation.Value(u), relation.Value(id))
+			id++
+		}
+		for i := 0; i < nPurch; i++ {
+			purchases.Add(relation.Value(u), relation.Value(id))
+			id++
+		}
+	}
+	for u := 0; u < 3; u++ {
+		addUser(u, 300, 300)
+	}
+	for u := 3; u < 3003; u++ {
+		addUser(u, 1, 1)
+	}
+	in := core.NewInstance(q, users, logins, purchases)
+	want := core.NaiveCount(in)
+	const p = 32
+
+	fmt.Printf("IN = %d, OUT = %d, p = %d\n", in.IN(), want, p)
+	red := core.NaiveSemiJoinReduce(in)
+	li := core.LInstance(red, p)
+	bound := int64(in.IN()/p) + li
+	fmt.Printf("per-instance bound IN/p + L_instance(p,R) = %d + %d = %d\n\n", in.IN()/p, li, bound)
+
+	measure := func(name string, f func(c *mpc.Cluster, em mpc.Emitter)) {
+		c := mpc.NewCluster(p)
+		em := mpc.NewCountEmitter(in.Ring)
+		f(c, em)
+		if em.N != want {
+			panic(fmt.Sprintf("%s: wrong count %d", name, em.N))
+		}
+		fmt.Printf("%-28s load L = %6d  (%.1f× the instance bound)\n",
+			name, c.MaxLoad(), stats.Ratio(c.MaxLoad(), float64(bound)))
+	}
+	measure("RHier (§3.2, inst-optimal)", func(c *mpc.Cluster, em mpc.Emitter) {
+		core.RHier(c, in, 1, em)
+	})
+	measure("BinHC (one round)", func(c *mpc.Cluster, em mpc.Emitter) {
+		core.BinHC(c, in, 1, false, em)
+	})
+	measure("Yannakakis", func(c *mpc.Cluster, em mpc.Emitter) {
+		core.Yannakakis(c, in, nil, 1, em)
+	})
+	fmt.Printf("\n(Yannakakis must shuffle Θ(OUT) intermediate tuples: OUT/p = %d)\n", want/int64(p))
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mpc"
+	"repro/internal/primitives"
+	"repro/internal/relation"
+)
+
+// Synthetic attributes used to carry per-tuple statistics through
+// exchanges. Negative ids cannot collide with query attributes.
+const (
+	synthDA relation.Attr = -101
+	synthDB relation.Attr = -102
+	synthN  relation.Attr = -103
+)
+
+// BinaryJoin computes a ⋈ b with the output-optimal load O(IN/p + √(OUT/p))
+// of [8,18], which the paper uses as its basic subroutine.
+//
+// Keys are split by degree: a key is heavy when either side's degree
+// exceeds the target load L0 = IN/p + √(OUT/p) or its output da·db exceeds
+// OUT/p. Each heavy key gets its own ⌈da/L0⌉ × ⌈db/L0⌉ server grid
+// (fragment-replicate), which bounds its per-server input by 2·L0 and
+// output by ~OUT/p; light keys are hashed. The result stays distributed on
+// the servers that produced it; em (optional) observes every result tuple.
+func BinaryJoin(a, b *mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emitter) *mpc.Dist {
+	c := a.C
+	shared := a.Schema.Intersect(b.Schema)
+	outSchema := a.Schema.Union(b.Schema)
+
+	// Per-key degrees on both sides, co-located by key.
+	dA := primitives.CountByKey(a, shared, seed^0x1)
+	dB := primitives.CountByKey(b, shared, seed^0x2)
+	jd := joinDegrees(dA, dB, shared, seed^0x3)
+
+	// OUT = Σ_k da·db and the heavy-key directory, known cluster-wide.
+	out := int64(0)
+	for _, part := range jd.Parts {
+		for _, it := range part {
+			da, db := int64(it.T[len(it.T)-2]), int64(it.T[len(it.T)-1])
+			out += da * db
+		}
+	}
+	primitives.TotalCount(jd) // charges the coordinator aggregation
+
+	if out == 0 {
+		return mpc.NewDist(c, outSchema)
+	}
+	inSize := int64(a.Size() + b.Size())
+	l0 := inSize/int64(c.P) + int64(math.Ceil(math.Sqrt(float64(out)/float64(c.P))))
+	if l0 < 1 {
+		l0 = 1
+	}
+	dir := buildGrid(jd, shared, l0, out, c.P)
+	chargeDirectory(c, len(dir))
+
+	// Attach (da, db) to every tuple (multi-search); tuples whose key is
+	// missing from the directory side cannot join and are dropped here.
+	ax := attachDegrees(a, shared, jd)
+	bx := attachDegrees(b, shared, jd)
+
+	aPosKey := ax.Positions(shared)
+	bPosKey := bx.Positions(shared)
+	heavy := func(da, db int64) bool {
+		return da > l0 || db > l0 || da*db > (out+int64(c.P)-1)/int64(c.P)
+	}
+
+	routeSide := func(d *mpc.Dist, keyPos []int, isA bool, salt uint64) *mpc.Dist {
+		return d.ReplicateBy(func(it mpc.Item) []int {
+			n := len(it.T)
+			da, db := int64(it.T[n-2]), int64(it.T[n-1])
+			k := relation.KeyAt(it.T, keyPos)
+			if !heavy(da, db) {
+				return []int{int(mpc.Hash64(k, seed^0x10) % uint64(c.P))}
+			}
+			g := dir[k]
+			if isA {
+				row := int(mpc.Hash64(relation.EncodeTuple(it.T), salt) % uint64(g.rows))
+				dst := make([]int, g.cols)
+				for col := 0; col < g.cols; col++ {
+					dst[col] = (g.base + row*g.cols + col) % c.P
+				}
+				return dst
+			}
+			col := int(mpc.Hash64(relation.EncodeTuple(it.T), salt) % uint64(g.cols))
+			dst := make([]int, g.rows)
+			for row := 0; row < g.rows; row++ {
+				dst[row] = (g.base + row*g.cols + col) % c.P
+			}
+			return dst
+		})
+	}
+	ra := routeSide(ax, aPosKey, true, seed^0x20)
+	rb := routeSide(bx, bPosKey, false, seed^0x21)
+
+	// Local hash join per server; results are born where they are produced.
+	res := mpc.NewDist(c, outSchema)
+	bExtra := b.Schema.Minus(a.Schema)
+	bExtraPosIn := rb.Positions(bExtra)
+	aCore := len(a.Schema)
+	for s := range ra.Parts {
+		idx := make(map[string][]mpc.Item)
+		for _, it := range rb.Parts[s] {
+			k := relation.KeyAt(it.T, bPosKey)
+			idx[k] = append(idx[k], it)
+		}
+		for _, ai := range ra.Parts[s] {
+			k := relation.KeyAt(ai.T, aPosKey)
+			for _, bi := range idx[k] {
+				t := make(relation.Tuple, 0, len(outSchema))
+				t = append(t, ai.T[:aCore]...)
+				for _, p := range bExtraPosIn {
+					t = append(t, bi.T[p])
+				}
+				an := ring.Mul(ai.A, bi.A)
+				res.Parts[s] = append(res.Parts[s], mpc.Item{T: t, A: an})
+				if em != nil {
+					em.Emit(s, t, an)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// gridInfo describes the server grid of one heavy key.
+type gridInfo struct {
+	base, rows, cols int
+}
+
+// joinDegrees co-locates the two degree tables by key and merges them into
+// one table with schema shared ++ (synthDA, synthDB); keys present on only
+// one side are dropped (they cannot contribute join results).
+func joinDegrees(dA, dB *mpc.Dist, shared relation.Schema, salt uint64) *mpc.Dist {
+	c := dA.C
+	keyAttrs := []relation.Attr(shared)
+	sa := dA.ShuffleByKey(dA.Positions(keyAttrs), salt)
+	sb := dB.ShuffleByKey(dB.Positions(keyAttrs), salt)
+	schema := append(append(relation.Schema{}, shared...), synthDA, synthDB)
+	out := mpc.NewDist(c, schema)
+	posA := sa.Positions(keyAttrs)
+	posB := sb.Positions(keyAttrs)
+	for s := range sa.Parts {
+		bdeg := make(map[string]int64)
+		for _, it := range sb.Parts[s] {
+			bdeg[relation.KeyAt(it.T, posB)] = it.A
+		}
+		for _, it := range sa.Parts[s] {
+			k := relation.KeyAt(it.T, posA)
+			db, ok := bdeg[k]
+			if !ok {
+				continue
+			}
+			t := make(relation.Tuple, 0, len(schema))
+			for _, p := range posA {
+				t = append(t, it.T[p])
+			}
+			t = append(t, relation.Value(it.A), relation.Value(db))
+			out.Parts[s] = append(out.Parts[s], mpc.Item{T: t, A: 1})
+		}
+	}
+	return out
+}
+
+// buildGrid assigns a server grid to every heavy key, deterministically by
+// key order. Σ grid sizes = O(p) by the degree thresholds.
+func buildGrid(jd *mpc.Dist, shared relation.Schema, l0, out int64, p int) map[string]gridInfo {
+	keyPos := jd.Positions([]relation.Attr(shared))
+	type entry struct {
+		key    string
+		da, db int64
+	}
+	var heavies []entry
+	perServer := (out + int64(p) - 1) / int64(p)
+	for _, part := range jd.Parts {
+		for _, it := range part {
+			n := len(it.T)
+			da, db := int64(it.T[n-2]), int64(it.T[n-1])
+			if da > l0 || db > l0 || da*db > perServer {
+				heavies = append(heavies, entry{relation.KeyAt(it.T, keyPos), da, db})
+			}
+		}
+	}
+	sort.Slice(heavies, func(i, j int) bool { return heavies[i].key < heavies[j].key })
+	dir := make(map[string]gridInfo, len(heavies))
+	base := 0
+	for _, h := range heavies {
+		rows := int((h.da + l0 - 1) / l0)
+		cols := int((h.db + l0 - 1) / l0)
+		if rows < 1 {
+			rows = 1
+		}
+		if cols < 1 {
+			cols = 1
+		}
+		// A single key's grid must not wrap around the cluster, or a pair
+		// would meet on two servers and be reported twice.
+		dims := []int{rows, cols}
+		size := clampDims(dims, p)
+		dir[h.key] = gridInfo{base: base % p, rows: dims[0], cols: dims[1]}
+		base += size
+	}
+	return dir
+}
+
+// chargeDirectory charges gathering n directory entries to the coordinator
+// and broadcasting them to every server.
+func chargeDirectory(c *mpc.Cluster, n int) {
+	if n == 0 {
+		return
+	}
+	c.Charge(0, n)
+	loads := make([]int, c.P)
+	for i := range loads {
+		loads[i] = n
+	}
+	c.ChargeRound(loads)
+}
+
+// attachDegrees extends every tuple of d with the (da, db) of its key via
+// the sorted lookup; tuples without a directory entry are dropped.
+func attachDegrees(d *mpc.Dist, shared relation.Schema, jd *mpc.Dist) *mpc.Dist {
+	keyAttrs := []relation.Attr(shared)
+	outSchema := append(append(relation.Schema{}, d.Schema...), synthDA, synthDB)
+	jdN := len(jd.Schema)
+	return primitives.Lookup(d, keyAttrs, jd, keyAttrs, outSchema,
+		func(it mpc.Item, r primitives.LookupResult) (mpc.Item, bool) {
+			if !r.Found {
+				return mpc.Item{}, false
+			}
+			t := make(relation.Tuple, 0, len(it.T)+2)
+			t = append(t, it.T...)
+			t = append(t, r.DTuple[jdN-2], r.DTuple[jdN-1])
+			return mpc.Item{T: t, A: it.A}, true
+		})
+}
+
+// StripSynthetic removes synthetic attributes from a schema/dist, keeping
+// query attributes only. Used by algorithms that pass extended tuples on.
+func StripSynthetic(d *mpc.Dist) *mpc.Dist {
+	var keep []relation.Attr
+	for _, a := range d.Schema {
+		if a >= 0 {
+			keep = append(keep, a)
+		}
+	}
+	if len(keep) == len(d.Schema) {
+		return d
+	}
+	pos := d.Positions(keep)
+	schema := relation.NewSchema(keep...)
+	return d.MapLocal(schema, func(_ int, it mpc.Item) []mpc.Item {
+		t := make(relation.Tuple, len(pos))
+		for i, p := range pos {
+			t[i] = it.T[p]
+		}
+		return []mpc.Item{{T: t, A: it.A}}
+	})
+}

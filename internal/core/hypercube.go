@@ -1,0 +1,30 @@
+package core
+
+import (
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// HyperCubeProduct computes a Cartesian product query R1(x1) × … × Rm(xm)
+// (pairwise disjoint schemas) with the HyperCube algorithm [3]. As the
+// paper observes (Section 1.3), HyperCube is instance-optimal for Cartesian
+// products: its load tracks equation (1),
+//
+//	L_cartesian(p, R) = max_{S} (Π_{i∈S} N_i / p)^{1/|S|},
+//
+// up to polylog factors, because the per-relation grid dimensions adapt to
+// the relation sizes. Implemented as the keyed multiway join with an empty
+// key, whose allocator chooses exactly those dimensions.
+func HyperCubeProduct(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
+	for i := range in.Q.Edges {
+		for j := i + 1; j < len(in.Q.Edges); j++ {
+			if !in.Q.Edges[i].Disjoint(in.Q.Edges[j]) {
+				panic("core: HyperCubeProduct needs pairwise disjoint relations")
+			}
+		}
+	}
+	dists := LoadInstance(c, in)
+	res := MultiwayKeyedJoin(relation.Schema{}, dists, in.Ring, seed, nil)
+	EmitDist(res, in.OutputSchema(), em)
+	return res
+}

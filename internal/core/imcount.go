@@ -1,0 +1,120 @@
+package core
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// InMemoryJoinCount computes |⋈ rels| for an acyclic set of relations by
+// dynamic programming over a join tree (counts only — never materializes
+// the join). Used by the instance-optimal allocator, which needs the exact
+// subset join sizes |Q(R, S)| of equation (2), and by tests.
+func InMemoryJoinCount(rels []*relation.Relation) int64 {
+	if len(rels) == 0 {
+		return 1
+	}
+	var schemas []relation.Schema
+	for _, r := range rels {
+		schemas = append(schemas, r.Schema)
+	}
+	q := hypergraph.FromSchemas(schemas...)
+	tree, ok := q.GYO()
+	if !ok {
+		panic("core: InMemoryJoinCount on cyclic subset")
+	}
+	// counts[u] maps a tuple of relation u to the number of join extensions
+	// in u's subtree.
+	counts := make([]map[string]int64, len(rels))
+	for u := range rels {
+		counts[u] = make(map[string]int64, rels[u].Size())
+		for _, t := range rels[u].Tuples {
+			counts[u][relation.EncodeTuple(t)] = 1
+		}
+	}
+	for _, u := range tree.RemovalOrder {
+		p := tree.Parent[u]
+		if p < 0 {
+			break
+		}
+		shared := rels[u].Schema.Intersect(rels[p].Schema)
+		uPos := rels[u].Schema.Positions(shared)
+		pPos := rels[p].Schema.Positions(shared)
+		agg := make(map[string]int64)
+		for _, t := range rels[u].Tuples {
+			agg[relation.KeyAt(t, uPos)] += counts[u][relation.EncodeTuple(t)]
+		}
+		for _, t := range rels[p].Tuples {
+			k := relation.EncodeTuple(t)
+			counts[p][k] *= agg[relation.KeyAt(t, pPos)]
+		}
+	}
+	var total int64
+	for _, t := range rels[tree.Root].Tuples {
+		total += counts[tree.Root][relation.EncodeTuple(t)]
+	}
+	return total
+}
+
+// LInstance computes the paper's per-instance lower bound (equation 2),
+//
+//	L_instance(p, R) = max_{S ⊆ E} (|Q(R, S)| / p)^{1/|S|},
+//
+// on a dangling-free instance, where |Q(R, S)| = |⋈_{e∈S} R(e)|. The input
+// must already be fully reduced (no dangling tuples); pass instances
+// through NaiveSemiJoinReduce or FullReduce first.
+func LInstance(in *Instance, p int) int64 {
+	// L_instance depends only on the REDUCED instance (Section 3.2): fold
+	// relations whose schema is contained in another's before enumerating
+	// subsets, or disjoint contained edges would contribute spurious
+	// Cartesian-product terms that are not real Q(R, S) sets.
+	rels := reduceFold(in.Rels, nil, relation.CountRing)
+	m := len(rels)
+	best := int64(0)
+	for mask := 1; mask < 1<<m; mask++ {
+		var sub []*relation.Relation
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, rels[i])
+			}
+		}
+		size := InMemoryJoinCount(sub)
+		v := iroot((size+int64(p)-1)/int64(p), len(sub))
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// iroot returns ⌈x^(1/k)⌉ for x ≥ 0, k ≥ 1.
+func iroot(x int64, k int) int64 {
+	if x <= 0 {
+		return 0
+	}
+	if k == 1 {
+		return x
+	}
+	lo, hi := int64(1), x
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if ipow(mid, k) >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ipow returns min(b^k, 2^62) without overflow.
+func ipow(b int64, k int) int64 {
+	const cap62 = int64(1) << 62
+	out := int64(1)
+	for i := 0; i < k; i++ {
+		if b != 0 && out > cap62/b {
+			return cap62
+		}
+		out *= b
+	}
+	return out
+}

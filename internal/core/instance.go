@@ -1,0 +1,86 @@
+// Package core implements the paper's join algorithms and the baselines
+// they are measured against, all as communication programs on the mpc
+// simulator:
+//
+//   - BinaryJoin: the output-optimal binary join of [8,18], load
+//     O(IN/p + √(OUT/p)) — the workhorse subroutine;
+//   - HyperCube: the one-round algorithm of [3] for Cartesian products;
+//   - BinHC: the one-round degree-decomposed HyperCube of [8];
+//   - Yannakakis: the classical algorithm [34] as an MPC program [2,25]
+//     with a pluggable join order, load O(IN/p + OUT/p);
+//   - RHier: the paper's Section 3.2 instance-optimal algorithm for
+//     r-hierarchical joins, load O(IN/p + L_instance(p,R));
+//   - Line3: the paper's Section 4.2 output-optimal line-3 join;
+//   - AcyclicJoin: the paper's Section 5.1 output-optimal algorithm for
+//     arbitrary acyclic joins, load O(IN/p + √(IN·OUT/p));
+//   - Aggregate: Section 6's LinearAggroYannakakis for free-connex
+//     join-aggregate queries (and CountOutput, the |Q(R)| primitive);
+//   - Triangle: the worst-case optimal triangle join of [24], load
+//     O(IN/p^{2/3}), measured against the paper's Section 7 lower bound.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// Instance binds a query hypergraph to concrete relations: relation i is
+// the instance of hyperedge i. This is the paper's (Q, R) pair.
+type Instance struct {
+	Q    *hypergraph.Hypergraph
+	Rels []*relation.Relation
+	Ring relation.Semiring
+}
+
+// NewInstance builds an instance over the counting semiring, validating
+// that each relation's schema matches its hyperedge.
+func NewInstance(q *hypergraph.Hypergraph, rels ...*relation.Relation) *Instance {
+	if len(q.Edges) != len(rels) {
+		panic(fmt.Sprintf("core: %d edges but %d relations", len(q.Edges), len(rels)))
+	}
+	for i, r := range rels {
+		got := hypergraph.NewAttrSet([]relation.Attr(r.Schema)...)
+		if !got.Equal(q.Edges[i]) {
+			panic(fmt.Sprintf("core: relation %d schema %v does not match edge %v", i, r.Schema, q.Edges[i]))
+		}
+	}
+	return &Instance{Q: q, Rels: rels, Ring: relation.CountRing}
+}
+
+// IN returns the input size Σ|R(e)|.
+func (in *Instance) IN() int {
+	n := 0
+	for _, r := range in.Rels {
+		n += r.Size()
+	}
+	return n
+}
+
+// OutputSchema returns the full join's output schema: all attributes in
+// increasing order (canonical, so results from different algorithms
+// compare directly).
+func (in *Instance) OutputSchema() relation.Schema {
+	return in.Q.Attrs().Schema()
+}
+
+// Clone deep-copies the instance.
+func (in *Instance) Clone() *Instance {
+	rels := make([]*relation.Relation, len(in.Rels))
+	for i, r := range in.Rels {
+		rels[i] = r.Clone()
+	}
+	return &Instance{Q: hypergraph.New(in.Q.Edges...), Rels: rels, Ring: in.Ring}
+}
+
+// SubInstance restricts the instance to the given edge indices.
+func (in *Instance) SubInstance(edges []int) *Instance {
+	var es []hypergraph.AttrSet
+	var rels []*relation.Relation
+	for _, e := range edges {
+		es = append(es, in.Q.Edges[e])
+		rels = append(rels, in.Rels[e])
+	}
+	return &Instance{Q: hypergraph.New(es...), Rels: rels, Ring: in.Ring}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/mpc"
+	"repro/internal/primitives"
+	"repro/internal/relation"
+)
+
+// Line3 is the paper's Section 4.2 output-optimal algorithm for the line-3
+// join R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D), with load O(IN/p + √(IN·OUT/p)).
+//
+// After removing dangling tuples it computes OUT (an MPC primitive), sets
+// the degree threshold τ = √(OUT/IN), and splits B-values by their degree
+// in R1. The join then decomposes into two parts with different orders:
+//
+//	Q1 = R1^H ⋈ (R2^H ⋈ R3)   — |R2^H ⋈ R3| ≤ OUT/τ,
+//	Q2 = (R1^L ⋈ R2^L) ⋈ R3   — |R1^L ⋈ R2^L| ≤ IN·τ,
+//
+// so no intermediate result exceeds √(IN·OUT) and the binary-join
+// subroutine keeps every step within the target load. This is the paper's
+// key observation that join ORDER has asymptotic consequences in MPC
+// (Section 4.1) and that decomposing by degree always yields a good order
+// for each part.
+func Line3(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
+	return Line3WithTau(c, in, 0, seed, em)
+}
+
+// Line3WithTau runs the Section 4.2 algorithm with an explicit degree
+// threshold τ (tau ≤ 0 selects the paper's balanced τ = √(OUT/IN)). The τ
+// ablation sweeps this to show the balance point of equations (4) and (5).
+func Line3WithTau(c *mpc.Cluster, in *Instance, tauOverride int64, seed uint64, em mpc.Emitter) *mpc.Dist {
+	b, _ := line3Attrs(in)
+
+	dists := LoadInstance(c, in)
+	dists = FullReduce(in, dists, seed^0x100)
+	r1, r2, r3 := dists[0], dists[1], dists[2]
+
+	out := CountOutputDists(in.Q, dists, seed^0x200)
+	outSchema := in.OutputSchema()
+	if out == 0 {
+		return mpc.NewDist(c, outSchema)
+	}
+	inSize := int64(in.IN())
+	tau := tauOverride
+	if tau <= 0 {
+		tau = int64(math.Ceil(math.Sqrt(float64(out) / float64(inSize))))
+	}
+	if tau < 1 {
+		tau = 1
+	}
+
+	// Step (1): degrees of B-values in R1 (sum-by-key), attached to the
+	// tuples of R1 and R2 (multi-search), then heavy/light split.
+	bAttr := []relation.Attr{b}
+	degB := primitives.CountByKey(r1, bAttr, seed^0x300)
+	r1H, r1L := splitByDegree(r1, bAttr, degB, tau)
+	r2H, r2L := splitByDegree(r2, bAttr, degB, tau)
+
+	// Step (2): two sub-joins with opposite orders.
+	t23 := BinaryJoin(r2H, r3, in.Ring, seed^0x400, nil)
+	q1 := BinaryJoin(r1H, t23, in.Ring, seed^0x401, nil)
+
+	t12 := BinaryJoin(r1L, r2L, in.Ring, seed^0x402, nil)
+	q2 := BinaryJoin(t12, r3, in.Ring, seed^0x403, nil)
+
+	res := mpc.Concat(ProjectLocal(q1, outSchema), ProjectLocal(q2, outSchema))
+	EmitDist(res, outSchema, em)
+	return res
+}
+
+// line3Attrs validates the query shape and returns (B, C), the two join
+// attributes of the chain.
+func line3Attrs(in *Instance) (relation.Attr, relation.Attr) {
+	q := in.Q
+	if len(q.Edges) != 3 {
+		panic("core: Line3 needs exactly 3 relations")
+	}
+	b := q.Edges[0].Intersect(q.Edges[1])
+	cAttr := q.Edges[1].Intersect(q.Edges[2])
+	if len(b) != 1 || len(cAttr) != 1 || b[0] == cAttr[0] ||
+		!q.Edges[0].Intersect(q.Edges[2]).Equal(nil) {
+		panic("core: Line3 query is not a line-3 chain")
+	}
+	return b[0], cAttr[0]
+}
+
+// splitByDegree attaches deg's annotation (0 when missing) per key and
+// partitions d into (heavy, light) by threshold tau. One lookup round; the
+// split itself is local.
+func splitByDegree(d *mpc.Dist, keyAttrs []relation.Attr, deg *mpc.Dist, tau int64) (heavy, light *mpc.Dist) {
+	heavy = primitives.Lookup(d, keyAttrs, deg, keyAttrs, d.Schema,
+		func(it mpc.Item, r primitives.LookupResult) (mpc.Item, bool) {
+			return it, r.Found && r.DAnnot > tau
+		})
+	light = primitives.Lookup(d, keyAttrs, deg, keyAttrs, d.Schema,
+		func(it mpc.Item, r primitives.LookupResult) (mpc.Item, bool) {
+			return it, !r.Found || r.DAnnot <= tau
+		})
+	return heavy, light
+}
+
+// ProjectLocal projects d onto schema without communication.
+func ProjectLocal(d *mpc.Dist, schema relation.Schema) *mpc.Dist {
+	if d.Schema.Equal(schema) {
+		return d
+	}
+	pos := d.Positions([]relation.Attr(schema))
+	return d.MapLocal(schema, func(_ int, it mpc.Item) []mpc.Item {
+		t := make(relation.Tuple, len(pos))
+		for i, p := range pos {
+			t[i] = it.T[p]
+		}
+		return []mpc.Item{{T: t, A: it.A}}
+	})
+}

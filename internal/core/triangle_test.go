@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+func TestTriangleMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(rng, hypergraph.Triangle(), 30, 6)
+		c := mpc.NewCluster(1 + rng.Intn(27))
+		em := mpc.NewCollectEmitter(in.OutputSchema())
+		Triangle(c, in, uint64(trial), em)
+		relEqual(t, em.Rel, Naive(in))
+	}
+}
+
+func TestTriangleAnnotated(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	in := randInstance(rng, hypergraph.Triangle(), 20, 4)
+	for i, r := range in.Rels {
+		r.Annots = make([]int64, r.Size())
+		for j := range r.Annots {
+			r.Annots[j] = int64(1 + (i+2*j)%3)
+		}
+	}
+	c := mpc.NewCluster(8)
+	em := mpc.NewCollectEmitter(in.OutputSchema())
+	Triangle(c, in, 1, em)
+	relEqual(t, em.Rel, Naive(in))
+}
+
+func TestTriangleWorstCaseLoad(t *testing.T) {
+	// Dense random instance: load should track IN/p^{2/3}, not IN.
+	n, p := 600, 27
+	rng := rand.New(rand.NewSource(62))
+	dom := 40
+	mk := func(a1, a2 relation.Attr) *relation.Relation {
+		r := relation.New("R", relation.NewSchema(a1, a2))
+		for i := 0; i < n; i++ {
+			r.Add(relation.Value(rng.Intn(dom)), relation.Value(rng.Intn(dom)))
+		}
+		return r.Dedup()
+	}
+	in := NewInstance(hypergraph.Triangle(), mk(2, 3), mk(1, 3), mk(1, 2))
+	c := mpc.NewCluster(p)
+	em := mpc.NewCountEmitter(in.Ring)
+	Triangle(c, in, 1, em)
+	if em.N != NaiveCount(in) {
+		t.Fatalf("triangle count = %d, want %d", em.N, NaiveCount(in))
+	}
+	inSize := float64(in.IN())
+	bound := inSize / math.Pow(float64(p), 2.0/3.0)
+	if float64(c.MaxLoad()) > 6*bound {
+		t.Errorf("triangle load %d exceeds 6×IN/p^(2/3) = %.0f", c.MaxLoad(), 6*bound)
+	}
+}
+
+func TestTriangleRejectsNonTriangle(t *testing.T) {
+	in := randInstance(rand.New(rand.NewSource(1)), hypergraph.Line3(), 5, 3)
+	c := mpc.NewCluster(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Triangle on line-3 did not panic")
+		}
+	}()
+	Triangle(c, in, 1, nil)
+}

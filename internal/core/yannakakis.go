@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+	"repro/internal/primitives"
+	"repro/internal/relation"
+)
+
+// LoadInstance distributes every relation of the instance over the cluster
+// (the model's initial state, charged as round 0).
+func LoadInstance(c *mpc.Cluster, in *Instance) []*mpc.Dist {
+	dists := make([]*mpc.Dist, len(in.Rels))
+	for i, r := range in.Rels {
+		dists[i] = mpc.FromRelation(c, r)
+	}
+	return dists
+}
+
+// FullReduce removes all dangling tuples with a full reducer over the join
+// tree: one bottom-up and one top-down semi-join pass [34]. O(1) rounds,
+// linear load. It panics on cyclic queries.
+func FullReduce(in *Instance, dists []*mpc.Dist, seed uint64) []*mpc.Dist {
+	tree, ok := in.Q.GYO()
+	if !ok {
+		panic("core: FullReduce on cyclic query")
+	}
+	out := make([]*mpc.Dist, len(dists))
+	copy(out, dists)
+	semi := func(x, d *mpc.Dist, salt uint64) *mpc.Dist {
+		shared := x.Schema.Intersect(d.Schema)
+		if len(shared) == 0 {
+			return x
+		}
+		return primitives.SemiJoin(x, shared, d, shared, salt)
+	}
+	// Bottom-up: parents shed tuples with no support below.
+	for i, u := range tree.RemovalOrder {
+		p := tree.Parent[u]
+		if p < 0 {
+			continue
+		}
+		out[p] = semi(out[p], out[u], seed+uint64(i))
+	}
+	// Top-down: children shed tuples with no support above.
+	for i := len(tree.RemovalOrder) - 1; i >= 0; i-- {
+		u := tree.RemovalOrder[i]
+		p := tree.Parent[u]
+		if p < 0 {
+			continue
+		}
+		out[u] = semi(out[u], out[p], seed+uint64(1000+i))
+	}
+	return out
+}
+
+// DefaultJoinOrder returns a join order along the join tree (BFS from the
+// root), so every prefix of the order is connected whenever Q is.
+func DefaultJoinOrder(q *hypergraph.Hypergraph) []int {
+	tree, ok := q.GYO()
+	if !ok {
+		panic("core: DefaultJoinOrder on cyclic query")
+	}
+	var order []int
+	queue := []int{tree.Root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		queue = append(queue, tree.Children[u]...)
+	}
+	return order
+}
+
+// Yannakakis is the classical algorithm as an MPC program [2,25]: remove
+// dangling tuples (linear load), then fold the relations pairwise with the
+// output-optimal binary join, in the given order (a permutation of edge
+// indices; nil means DefaultJoinOrder). Load O(IN/p + OUT/p): after
+// reduction every intermediate result is part of a full join result, so
+// intermediate sizes — and hence the inputs of later binary joins — can
+// reach Θ(OUT). Section 4.1 shows this is inherent for fixed orders.
+func Yannakakis(c *mpc.Cluster, in *Instance, order []int, seed uint64, em mpc.Emitter) *mpc.Dist {
+	if order == nil {
+		order = DefaultJoinOrder(in.Q)
+	}
+	if len(order) != len(in.Rels) {
+		panic(fmt.Sprintf("core: join order has %d entries for %d relations", len(order), len(in.Rels)))
+	}
+	dists := LoadInstance(c, in)
+	dists = FullReduce(in, dists, seed)
+	acc := dists[order[0]]
+	for i := 1; i < len(order); i++ {
+		acc = BinaryJoin(acc, dists[order[i]], in.Ring, seed+uint64(7*i), nil)
+	}
+	EmitDist(acc, in.OutputSchema(), em)
+	return acc
+}
+
+// EmitDist projects d locally onto schema and reports every tuple to em
+// (free, as emit() is in the model). em may be nil.
+func EmitDist(d *mpc.Dist, schema relation.Schema, em mpc.Emitter) {
+	if em == nil {
+		return
+	}
+	pos := d.Positions([]relation.Attr(schema))
+	for s, part := range d.Parts {
+		for _, it := range part {
+			t := make(relation.Tuple, len(pos))
+			for i, p := range pos {
+				t[i] = it.T[p]
+			}
+			em.Emit(s, t, it.A)
+		}
+	}
+}

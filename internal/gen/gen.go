@@ -1,0 +1,355 @@
+// Package gen builds the instance families used throughout the paper:
+// the hard instance for the Yannakakis algorithm (Figure 3) and its doubled
+// variant, the random line-3 lower-bound instance (Figure 4), the random
+// triangle instance (Figure 6), skewed r-hierarchical families, Cartesian
+// products, and generic uniform/zipf workloads. All generators are
+// deterministic given their seed.
+package gen
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// Uniform returns a relation over the given schema with n distinct tuples,
+// each attribute drawn uniformly from [0, dom).
+func Uniform(rng *mpc.Rng, name string, schema relation.Schema, n, dom int) *relation.Relation {
+	r := relation.New(name, schema)
+	// capacity = dom^arity, saturating: the most distinct tuples possible.
+	capacity := 1
+	for range schema {
+		if capacity > n {
+			break
+		}
+		capacity *= dom
+	}
+	if n > capacity {
+		n = capacity
+	}
+	seen := map[string]bool{}
+	for len(r.Tuples) < n {
+		t := make([]relation.Value, len(schema))
+		for i := range t {
+			t[i] = relation.Value(rng.Intn(dom))
+		}
+		k := relation.EncodeValues(t...)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		r.Add(t...)
+	}
+	return r
+}
+
+// Zipf draws values from [0, dom) with a zipf-like distribution of exponent
+// ~1 (value v with weight 1/(v+1)), producing natural skew.
+func Zipf(rng *mpc.Rng, dom int) func() relation.Value {
+	// Precompute cumulative weights.
+	cum := make([]float64, dom)
+	total := 0.0
+	for v := 0; v < dom; v++ {
+		total += 1.0 / float64(v+1)
+		cum[v] = total
+	}
+	return func() relation.Value {
+		x := rng.Float64() * total
+		lo, hi := 0, dom-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] >= x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return relation.Value(lo)
+	}
+}
+
+// YannakakisHard is the Figure 3 (top) instance for the line-3 join
+// R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D): |dom(A)| = OUT/N, |dom(B)| = N²/OUT,
+// |dom(C)| = N, |dom(D)| = 1; R1 = dom(A)×dom(B), R2 a one-to-many mapping
+// B→C, R3 = dom(C)×dom(D). IN = Θ(N) and |R1 ⋈ R2| = OUT while
+// |R2 ⋈ R3| = O(N): the join order decides between Θ(OUT/p) and the
+// optimal load.
+func YannakakisHard(n, out int) *core.Instance {
+	domA := out / n
+	if domA < 1 {
+		domA = 1
+	}
+	domB := n / domA
+	if domB < 1 {
+		domB = 1
+	}
+	r1 := relation.New("R1", relation.NewSchema(1, 2))
+	for a := 0; a < domA; a++ {
+		for b := 0; b < domB; b++ {
+			r1.Add(relation.Value(a), relation.Value(b))
+		}
+	}
+	r2 := relation.New("R2", relation.NewSchema(2, 3))
+	for c := 0; c < n; c++ {
+		r2.Add(relation.Value(c%domB), relation.Value(c))
+	}
+	r3 := relation.New("R3", relation.NewSchema(3, 4))
+	for c := 0; c < n; c++ {
+		r3.Add(relation.Value(c), 0)
+	}
+	return core.NewInstance(hypergraph.Line3(), r1, r2, r3)
+}
+
+// YannakakisHardDoubled is Figure 3 in full: two copies of the hard
+// instance glued in opposite directions, so that NO single join order has a
+// small intermediate result (Section 4.1).
+func YannakakisHardDoubled(n, out int) *core.Instance {
+	fwd := YannakakisHard(n, out)
+	bwd := YannakakisHard(n, out)
+	const shift = relation.Value(1) << 30
+	r1 := fwd.Rels[0].Clone()
+	r2 := fwd.Rels[1].Clone()
+	r3 := fwd.Rels[2].Clone()
+	// Mirror: R3 of the copy becomes new R1 tuples (reversed), etc.
+	for _, t := range bwd.Rels[2].Tuples {
+		r1.Add(t[1]+shift, t[0]+shift)
+	}
+	for _, t := range bwd.Rels[1].Tuples {
+		r2.Add(t[1]+shift, t[0]+shift)
+	}
+	for _, t := range bwd.Rels[0].Tuples {
+		r3.Add(t[1]+shift, t[0]+shift)
+	}
+	return core.NewInstance(hypergraph.Line3(), r1, r2, r3)
+}
+
+// Line3Random is the Figure 4 lower-bound construction: N = IN/3,
+// τ = √(OUT/N), |dom(B)| = |dom(C)| = N/τ. R1 has τ tuples per B-value, R3
+// has τ per C-value, and each (b, c) pair joins in R2 independently with
+// probability τ²/N. E[IN] = Θ(IN), E[OUT] = Θ(OUT).
+func Line3Random(rng *mpc.Rng, inSize, out int) *core.Instance {
+	n := inSize / 3
+	if n < 1 {
+		n = 1
+	}
+	tau := isqrt(int64(out) / int64(n))
+	if tau < 1 {
+		tau = 1
+	}
+	groups := n / int(tau)
+	if groups < 1 {
+		groups = 1
+	}
+	r1 := relation.New("R1", relation.NewSchema(1, 2))
+	r3 := relation.New("R3", relation.NewSchema(3, 4))
+	id := 0
+	for b := 0; b < groups; b++ {
+		for t := 0; t < int(tau); t++ {
+			r1.Add(relation.Value(id), relation.Value(b))
+			id++
+		}
+	}
+	id = 0
+	for c := 0; c < groups; c++ {
+		for t := 0; t < int(tau); t++ {
+			r3.Add(relation.Value(c), relation.Value(id))
+			id++
+		}
+	}
+	r2 := relation.New("R2", relation.NewSchema(2, 3))
+	prob := float64(tau) * float64(tau) / float64(n)
+	if prob > 1 {
+		prob = 1
+	}
+	for b := 0; b < groups; b++ {
+		for c := 0; c < groups; c++ {
+			if rng.Float64() < prob {
+				r2.Add(relation.Value(b), relation.Value(c))
+			}
+		}
+	}
+	return core.NewInstance(hypergraph.Line3(), r1, r2, r3)
+}
+
+// TriangleRandom is the Figure 6 construction: |dom(A)| = τ with
+// τ = OUT/N, |dom(B)| = |dom(C)| = N/τ; R2 = dom(A)×dom(C) and
+// R3 = dom(A)×dom(B) complete, R1(B,C) random with edge probability τ²/N.
+func TriangleRandom(rng *mpc.Rng, inSize, out int) *core.Instance {
+	n := inSize / 3
+	if n < 1 {
+		n = 1
+	}
+	tau := out / n
+	if tau < 1 {
+		tau = 1
+	}
+	side := n / tau
+	if side < 1 {
+		side = 1
+	}
+	r1 := relation.New("R1", relation.NewSchema(2, 3)) // (B,C)
+	prob := float64(tau) * float64(tau) / float64(n)
+	if prob > 1 {
+		prob = 1
+	}
+	for b := 0; b < side; b++ {
+		for c := 0; c < side; c++ {
+			if rng.Float64() < prob {
+				r1.Add(relation.Value(b), relation.Value(c))
+			}
+		}
+	}
+	r2 := relation.New("R2", relation.NewSchema(1, 3)) // (A,C)
+	r3 := relation.New("R3", relation.NewSchema(1, 2)) // (A,B)
+	for a := 0; a < tau; a++ {
+		for v := 0; v < side; v++ {
+			r2.Add(relation.Value(a), relation.Value(v))
+			r3.Add(relation.Value(a), relation.Value(v))
+		}
+	}
+	return core.NewInstance(hypergraph.Triangle(), r1, r2, r3)
+}
+
+// RHierSkewed builds an instance of R1(A) ⋈ R2(A,B) ⋈ R3(B) with hubCount
+// hub A-values of degree hubDeg each plus a uniform tail, a natural skewed
+// r-hierarchical workload.
+func RHierSkewed(rng *mpc.Rng, hubCount, hubDeg, tail int) *core.Instance {
+	r1 := relation.New("R1", relation.NewSchema(1))
+	r2 := relation.New("R2", relation.NewSchema(1, 2))
+	r3 := relation.New("R3", relation.NewSchema(2))
+	next := 0
+	for h := 0; h < hubCount; h++ {
+		r1.Add(relation.Value(h))
+		for d := 0; d < hubDeg; d++ {
+			r2.Add(relation.Value(h), relation.Value(next))
+			r3.Add(relation.Value(next))
+			next++
+		}
+	}
+	for i := 0; i < tail; i++ {
+		a := relation.Value(hubCount + i)
+		r1.Add(a)
+		r2.Add(a, relation.Value(next))
+		r3.Add(relation.Value(next))
+		next++
+	}
+	return core.NewInstance(hypergraph.RHierSimple(), r1, r2, r3)
+}
+
+// Q2FakeHub builds the paper's hierarchical query Q2 = R1(x1,x2) ⋈
+// R2(x1,x3,x4) ⋈ R3(x1,x3,x5) with `real` straightforward join values plus
+// a "fake hub": one x1-value a* whose R2 and R3 blocks each have fakeDeg
+// tuples — on DISJOINT x3 values, so the block's true output is zero while
+// its degree product looks like fakeDeg². Degree statistics alone cannot
+// tell: a one-round algorithm must budget ~fakeDeg²/L² servers for a*,
+// forcing its load target up to ≈ fakeDeg/√(2p). This is the dangling-tuple
+// barrier behind Table 1's one-round column ([26]); a semi-join
+// preprocessing pass deletes the block and restores instance optimality.
+func Q2FakeHub(real, fakeDeg int) *core.Instance {
+	q := hypergraph.Q2Hierarchical()
+	r1 := relation.New("R1", relation.NewSchema(1, 2))
+	r2 := relation.New("R2", relation.NewSchema(1, 3, 4))
+	r3 := relation.New("R3", relation.NewSchema(1, 3, 5))
+	for a := 0; a < real; a++ {
+		v := relation.Value(a)
+		r1.Add(v, v)
+		r2.Add(v, v, v)
+		r3.Add(v, v, v)
+	}
+	const fakeA = relation.Value(1) << 35
+	base2 := relation.Value(1) << 36
+	base3 := relation.Value(1) << 37
+	r1.Add(fakeA, 0)
+	for i := 0; i < fakeDeg; i++ {
+		r2.Add(fakeA, base2+relation.Value(i), relation.Value(i))
+		r3.Add(fakeA, base3+relation.Value(i), relation.Value(i))
+	}
+	return core.NewInstance(q, r1, r2, r3)
+}
+
+// CartesianSizes builds a k-way Cartesian product instance with the given
+// component sizes (the instance family of the paper's Section 1.3
+// discussion: skew across components separates instance classes).
+func CartesianSizes(sizes ...int) *core.Instance {
+	rels := make([]*relation.Relation, len(sizes))
+	var edges []hypergraph.AttrSet
+	for i, n := range sizes {
+		a := relation.Attr(i + 1)
+		edges = append(edges, hypergraph.NewAttrSet(a))
+		r := relation.New("R", relation.NewSchema(a))
+		for j := 0; j < n; j++ {
+			r.Add(relation.Value(j))
+		}
+		rels[i] = r
+	}
+	return core.NewInstance(hypergraph.New(edges...), rels...)
+}
+
+// TallFlatSkewed builds the tall-flat query R1(K) ⋈ R2(K,X) ⋈ R3(K,Y) with
+// one hub key of degree hubDeg in both R2 and R3, plus a tail: the keyed
+// product makes OUT ≈ hubDeg² + tail.
+func TallFlatSkewed(hubDeg, tail int) *core.Instance {
+	q := hypergraph.New(
+		hypergraph.NewAttrSet(1),
+		hypergraph.NewAttrSet(1, 2),
+		hypergraph.NewAttrSet(1, 3),
+	)
+	r1 := relation.New("R1", relation.NewSchema(1))
+	r2 := relation.New("R2", relation.NewSchema(1, 2))
+	r3 := relation.New("R3", relation.NewSchema(1, 3))
+	r1.Add(0)
+	for d := 0; d < hubDeg; d++ {
+		r2.Add(0, relation.Value(d))
+		r3.Add(0, relation.Value(d))
+	}
+	for i := 1; i <= tail; i++ {
+		r1.Add(relation.Value(i))
+		r2.Add(relation.Value(i), relation.Value(hubDeg+i))
+		r3.Add(relation.Value(i), relation.Value(hubDeg+i))
+	}
+	return core.NewInstance(q, r1, r2, r3)
+}
+
+// WithDangling injects danglers: extra tuples in relation idx whose join
+// attributes use fresh values that match nothing else.
+func WithDangling(in *core.Instance, idx, count int) *core.Instance {
+	out := in.Clone()
+	r := out.Rels[idx]
+	const fresh = relation.Value(1) << 40
+	for i := 0; i < count; i++ {
+		t := make([]relation.Value, len(r.Schema))
+		for j := range t {
+			t[j] = fresh + relation.Value(i*len(t)+j)
+		}
+		r.Add(t...)
+	}
+	return out
+}
+
+// LineKUniform builds a uniform chain join instance of k relations.
+func LineKUniform(rng *mpc.Rng, k, size, dom int) *core.Instance {
+	q := hypergraph.LineK(k)
+	rels := make([]*relation.Relation, k)
+	for i := 0; i < k; i++ {
+		rels[i] = Uniform(rng, "R", q.Edges[i].Schema(), size, dom)
+	}
+	return core.NewInstance(q, rels...)
+}
+
+// isqrt returns ⌈√x⌉ for x ≥ 0.
+func isqrt(x int64) int64 {
+	if x <= 0 {
+		return 0
+	}
+	lo, hi := int64(1), x
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if mid*mid >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

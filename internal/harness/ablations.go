@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// E2RHierClosedForm sweeps OUT on r-hierarchical instances and compares the
+// measured RHier load to Theorem 4's closed form
+// IN/p^{1/max(1,k*−1)} + (OUT/p)^{1/k*}.
+func E2RHierClosedForm(s Scale) *Table {
+	t := &Table{
+		Title: "Theorem 4 — r-hierarchical output-optimal closed form",
+		Note: fmt.Sprintf("p=%d; keyed-product instance with growing hub degree: OUT ≈ hub², so k* crosses from 1 to 2",
+			s.P),
+		Header: []string{"hubDeg", "IN", "OUT", "k*", "L(RHier)", "Thm4 bound", "L/bound"},
+	}
+	for _, hub := range []int{16, 64, 256, 1024} {
+		in := gen.TallFlatSkewed(hub, s.IN/4)
+		out := core.NaiveCount(in)
+		_, l, _ := run(s.P, in, out, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.RHier(c, in, s.Seed, em)
+		})
+		b := stats.RHierOutput(in.IN(), out, s.P)
+		t.Add(hub, in.IN(), out, stats.KStar(in.IN(), out), l, b, stats.Ratio(l, b))
+	}
+	return t
+}
+
+// E3AcyclicVsYannakakis compares the Section 5.1 algorithm with Yannakakis
+// on longer chains, where the paper's √(OUT/IN)-factor gap should persist
+// beyond line-3.
+func E3AcyclicVsYannakakis(s Scale) *Table {
+	t := &Table{
+		Title:  "Section 5 — acyclic joins beyond line-3 (chain of 4, glued hard instances)",
+		Header: []string{"query", "IN", "OUT", "L(Yann)", "L(Acyclic §5.1)", "Yann/Acyclic"},
+	}
+	// A line-4 instance built by extending the Figure 3 hard instance with
+	// a fourth relation fanning out of D.
+	base := gen.YannakakisHard(s.IN/2, 4*s.IN)
+	r4 := baseFanOut(base, 4)
+	q := hypergraph.LineK(4)
+	in := core.NewInstance(q, base.Rels[0], base.Rels[1], base.Rels[2], r4)
+	want := core.NaiveCount(in)
+	_, ly, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+		core.Yannakakis(c, in, []int{0, 1, 2, 3}, s.Seed, em)
+	})
+	_, la, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+		core.AcyclicJoin(c, in, s.Seed, em)
+	})
+	t.Add("line-4 hard", in.IN(), want, ly, la, fmt.Sprintf("%.1fx", float64(ly)/float64(maxInt(la, 1))))
+
+	rng := mpc.NewRng(s.Seed)
+	// Domain size ≈ size/4 keeps the expected per-value fanout at 4, so
+	// OUT ≈ 64·size stays materializable by the oracle.
+	u := gen.LineKUniform(rng, 4, s.IN/4, maxInt(s.IN/16, 2))
+	wantU := core.NaiveCount(u)
+	_, ly2, _ := run(s.P, u, wantU, func(c *mpc.Cluster, em mpc.Emitter) {
+		core.Yannakakis(c, u, nil, s.Seed, em)
+	})
+	_, la2, _ := run(s.P, u, wantU, func(c *mpc.Cluster, em mpc.Emitter) {
+		core.AcyclicJoin(c, u, s.Seed, em)
+	})
+	t.Add("line-4 uniform", u.IN(), wantU, ly2, la2, fmt.Sprintf("%.1fx", float64(ly2)/float64(maxInt(la2, 1))))
+	return t
+}
+
+// baseFanOut builds R4(D, E) fanning every D value of the hard instance
+// out to `fan` E values — keeping OUT large while the intermediate
+// structure stays adversarial.
+func baseFanOut(base *core.Instance, fan int) *relation.Relation {
+	r := relation.New("R4", relation.NewSchema(4, 5))
+	seen := map[relation.Value]bool{}
+	pos := base.Rels[2].Schema.Pos(4)
+	for _, tu := range base.Rels[2].Tuples {
+		d := tu[pos]
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		for e := 0; e < fan; e++ {
+			r.Add(d, relation.Value(e))
+		}
+	}
+	return r
+}
+
+// E4Aggregate measures the Section 6 pipeline: COUNT(*) GROUP BY on a
+// line-3 whose full join is enormous but whose aggregate output is tiny —
+// LinearAggroYannakakis keeps the load linear.
+func E4Aggregate(s Scale) *Table {
+	t := &Table{
+		Title: "Section 6 — free-connex join-aggregate (COUNT(*) GROUP BY B,C on line-3)",
+		Note:  "|Q(R)| is huge; OUT = |Q_y(R)| is small; load must track IN/p + √(IN·OUT_y/p)",
+		Header: []string{"IN", "|Q(R)|", "OUT_y", "L(aggregate)", "L(full join §5.1)",
+			"linear IN/p", "L/linear"},
+	}
+	rng := mpc.NewRng(s.Seed)
+	in := gen.Line3Random(rng, s.IN, 32*s.IN)
+	fullOut := core.NaiveCount(in)
+	y := hypergraph.NewAttrSet(2, 3)
+
+	cAgg := mpc.NewCluster(s.P)
+	res := core.Aggregate(cAgg, in, y, s.Seed, nil)
+	outY := int64(res.Size())
+
+	_, lFull, _ := run(s.P, in, fullOut, func(c *mpc.Cluster, em mpc.Emitter) {
+		core.AcyclicJoin(c, in, s.Seed, em)
+	})
+	lin := stats.Linear(in.IN(), s.P)
+	t.Add(in.IN(), fullOut, outY, cAgg.MaxLoad(), lFull, lin,
+		stats.Ratio(cAgg.MaxLoad(), lin))
+	return t
+}
+
+// AblationTau sweeps the heavy/light threshold of the line-3 algorithm
+// around the paper's balance point τ* = √(OUT/IN) (equations 4 and 5).
+func AblationTau(s Scale) *Table {
+	rng := mpc.NewRng(s.Seed)
+	in := gen.Line3Random(rng, s.IN, 16*s.IN)
+	want := core.NaiveCount(in)
+	tauStar := isqrtInt(int(want) / maxInt(in.IN(), 1))
+	t := &Table{
+		Title: "Ablation — line-3 heavy/light threshold τ (eqs. 4–5 balance)",
+		Note: fmt.Sprintf("p=%d IN=%d OUT=%d; paper's τ* = √(OUT/IN) = %d",
+			s.P, in.IN(), want, tauStar),
+		Header: []string{"τ", "L(Line3)", "vs τ*"},
+	}
+	var lStar int
+	seen := map[int]bool{}
+	taus := []int{1, tauStar / 4, tauStar, tauStar * 4, tauStar * 16}
+	for _, tau := range taus {
+		if tau < 1 || seen[tau] {
+			continue
+		}
+		seen[tau] = true
+		_, l, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Line3WithTau(c, in, int64(tau), s.Seed, em)
+		})
+		if tau == tauStar {
+			lStar = l
+		}
+		mark := ""
+		if tau == tauStar {
+			mark = "← τ*"
+		}
+		t.Add(tau, l, mark)
+	}
+	_ = lStar
+	return t
+}
+
+// AblationGrid reruns the paper's Section 3.2 Case-2 example: the
+// interleaved Cartesian grid versus a two-step approach that materializes
+// the sub-join (represented by Yannakakis, which must shuffle the
+// intermediate result).
+func AblationGrid(s Scale) *Table {
+	p := s.P
+	n := s.IN
+	q := hypergraph.New(
+		hypergraph.NewAttrSet(1),
+		hypergraph.NewAttrSet(2, 3),
+		hypergraph.NewAttrSet(3, 4),
+	)
+	r0 := relation.New("R0", relation.NewSchema(1))
+	r0.Add(42)
+	r1 := relation.New("R1", relation.NewSchema(2, 3))
+	for i := 0; i < n; i++ {
+		r1.Add(relation.Value(i), 0)
+	}
+	r2 := relation.New("R2", relation.NewSchema(3, 4))
+	for i := 0; i < p; i++ {
+		r2.Add(0, relation.Value(i))
+	}
+	in := core.NewInstance(q, r0, r1, r2)
+	want := core.NaiveCount(in)
+	red := core.NaiveSemiJoinReduce(in)
+	li := core.LInstance(red, p)
+	t := &Table{
+		Title: "Ablation — §3.2 Case 2 grid vs two-step (|Q1|=1, |Q2|=p·IN)",
+		Note: fmt.Sprintf("p=%d; L_instance=%d; a two-step plan must materialize Q2 (≈%d load)",
+			p, li, n/p*p/p+isqrtInt(n*p/p)),
+		Header: []string{"algorithm", "IN", "OUT", "L", "L/L_inst"},
+	}
+	_, lg, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+		core.RHier(c, in, s.Seed, em)
+	})
+	t.Add("RHier grid (§3.2)", in.IN(), want, lg, stats.Ratio(lg, float64(li)))
+	_, ly, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+		core.Yannakakis(c, in, []int{1, 2, 0}, s.Seed, em)
+	})
+	t.Add("two-step (materialize Q2)", in.IN(), want, ly, stats.Ratio(ly, float64(li)))
+	return t
+}

@@ -1,0 +1,318 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+	"repro/internal/stats"
+)
+
+// Scale controls experiment sizes; 1 is the default used by the committed
+// EXPERIMENTS.md numbers.
+type Scale struct {
+	P    int // servers
+	IN   int // base input size
+	Seed uint64
+}
+
+// DefaultScale is used by the experiments command and benchmarks.
+func DefaultScale() Scale { return Scale{P: 64, IN: 1 << 14, Seed: 2019} }
+
+// run executes an algorithm on a fresh cluster and reports (OUT, load,
+// rounds), verifying the count against the expected value when want ≥ 0.
+func run(p int, in *core.Instance, want int64,
+	algo func(c *mpc.Cluster, em mpc.Emitter)) (int64, int, int) {
+	c := mpc.NewCluster(p)
+	em := mpc.NewCountEmitter(in.Ring)
+	algo(c, em)
+	if want >= 0 && em.N != want {
+		panic(fmt.Sprintf("harness: algorithm emitted %d results, oracle says %d", em.N, want))
+	}
+	return em.N, c.MaxLoad(), c.Rounds()
+}
+
+// Fig1Classification regenerates Figure 1: the classification of the query
+// catalog, with witnesses for each strict inclusion.
+func Fig1Classification() *Table {
+	t := &Table{
+		Title:  "Figure 1 — classification of joins (tall-flat ⊂ hierarchical ⊂ r-hierarchical ⊂ acyclic)",
+		Header: []string{"query", "acyclic", "r-hier", "hier", "tall-flat", "class"},
+	}
+	for _, e := range hypergraph.Catalog() {
+		t.Add(e.Name,
+			e.Q.IsAcyclic(),
+			e.Q.IsAcyclic() && e.Q.IsRHierarchical(),
+			e.Q.IsHierarchical(),
+			e.Q.IsTallFlat(),
+			e.Q.Classify().String())
+	}
+	return t
+}
+
+// Fig2Forests renders the attribute forests of the paper's Q1 and Q2.
+func Fig2Forests() string {
+	out := "== Figure 2 — attribute forests ==\n"
+	out += "Q1 (tall-flat):\n" + hypergraph.Q1TallFlat().AttributeForest().String()
+	out += "Q2 (hierarchical):\n" + hypergraph.Q2Hierarchical().AttributeForest().String()
+	return out
+}
+
+// Fig3JoinOrder regenerates the Figure 3 / Section 4.1 experiment: join
+// order has asymptotic consequences in MPC, and on the doubled instance no
+// order is good while the Section 4.2 decomposition is.
+func Fig3JoinOrder(s Scale) *Table {
+	t := &Table{
+		Title: "Figure 3 — join order in the MPC Yannakakis algorithm (line-3)",
+		Note: fmt.Sprintf("p=%d; hard instance with OUT=8·IN; load = max tuples received by a server in a round",
+			s.P),
+		Header: []string{"instance", "algorithm", "IN", "OUT", "load L", "L/(IN/p)", "bound tracked"},
+	}
+	for _, double := range []bool{false, true} {
+		var in *core.Instance
+		name := "one-sided"
+		if double {
+			in = gen.YannakakisHardDoubled(s.IN, 8*s.IN)
+			name = "doubled"
+		} else {
+			in = gen.YannakakisHard(s.IN, 8*s.IN)
+		}
+		want := core.NaiveCount(in)
+		inSize := in.IN()
+		addRow := func(alg string, load int, bound string) {
+			t.Add(name, alg, inSize, want, load,
+				stats.Ratio(load, stats.Linear(inSize, s.P)), bound)
+		}
+		_, l, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Yannakakis(c, in, []int{0, 1, 2}, s.Seed, em)
+		})
+		addRow("Yannakakis (R1⋈R2)⋈R3", l, "OUT/p")
+		_, l, _ = run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Yannakakis(c, in, []int{2, 1, 0}, s.Seed, em)
+		})
+		addRow("Yannakakis R1⋈(R2⋈R3)", l, "IN/p+√(OUT/p) or OUT/p")
+		_, l, _ = run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Line3(c, in, s.Seed, em)
+		})
+		addRow("Line3 (§4.2)", l, "IN/p+√(IN·OUT/p)")
+		_, l, _ = run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.AcyclicJoin(c, in, s.Seed, em)
+		})
+		addRow("AcyclicJoin (§5.1)", l, "IN/p+√(IN·OUT/p)")
+	}
+	return t
+}
+
+// Fig4Line3Sweep regenerates the Figure 4 experiment: the line-3 load as a
+// function of OUT on the random lower-bound instance, against the paper's
+// lower bound and the Yannakakis baseline. The three regimes of Section 4.3
+// (OUT ≤ IN, IN < OUT ≤ p·IN, OUT > p·IN) are visible as the points where
+// the winner changes.
+func Fig4Line3Sweep(s Scale) *Table {
+	t := &Table{
+		Title: "Figure 4 — line-3 join on the random hard instance, OUT sweep",
+		Note: fmt.Sprintf("p=%d, IN≈%d; LB = Ω(min{√(IN·OUT/(p·log IN)), IN/√p}) (Thm 6)",
+			s.P, s.IN),
+		Header: []string{"OUT/IN", "IN", "OUT", "L(Yann)", "L(Line3)", "L(Acyc §5)", "L(WC IN/√p)", "LB", "Line3/LB", "regime"},
+	}
+	rng := mpc.NewRng(s.Seed)
+	for _, f := range []int{0, 1, 4, 16, 64, 256} {
+		out := s.IN * f
+		if f == 0 {
+			out = s.IN / 4
+		}
+		in := gen.Line3Random(rng, s.IN, out)
+		want := core.NaiveCount(in)
+		inSize := in.IN()
+		_, ly, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Yannakakis(c, in, nil, s.Seed, em)
+		})
+		_, l3, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Line3(c, in, s.Seed, em)
+		})
+		_, la, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.AcyclicJoin(c, in, s.Seed, em)
+		})
+		_, lw, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Line3WorstCase(c, in, s.Seed, em)
+		})
+		lb := stats.Line3Lower(inSize, want, s.P)
+		regime := "OUT≤IN: linear"
+		switch {
+		case want > int64(s.P)*int64(inSize):
+			regime = "OUT>p·IN: IN/√p"
+		case want > int64(inSize):
+			regime = "IN<OUT≤p·IN: √(IN·OUT/p)"
+		}
+		t.Add(fmt.Sprintf("%d", f), inSize, want, ly, l3, la, lw, lb,
+			stats.Ratio(l3, lb), regime)
+	}
+	return t
+}
+
+// Fig5JoinTree prints the join tree and the e0 selection for the Figure 5
+// example query.
+func Fig5JoinTree() string {
+	q := hypergraph.Fig5Example()
+	tree, _ := q.GYO()
+	out := "== Figure 5 — join tree of the example acyclic query ==\n"
+	var walk func(u, d int)
+	names := []string{"e0=ABDGH'", "e1=ABC", "e2=BD", "e3=B", "e4=ADE", "e5=DF", "e6=HH'"}
+	walk = func(u, d int) {
+		for i := 0; i < d; i++ {
+			out += "  "
+		}
+		out += names[u] + "\n"
+		for _, c := range tree.Children[u] {
+			walk(c, d+1)
+		}
+	}
+	walk(tree.Root, 0)
+	return out
+}
+
+// Fig6TriangleSweep regenerates the Section 7 experiment: the triangle
+// join's measured load against the output-sensitive lower bound
+// Ω̃(min{IN/p + OUT/p, IN/p^{2/3}}), plus the acyclic line-3 load at the
+// same IN and OUT to exhibit the ≥ √(OUT/IN) separation.
+func Fig6TriangleSweep(s Scale) *Table {
+	t := &Table{
+		Title: "Figure 6 / Theorem 11 — triangle join, OUT sweep",
+		Note: fmt.Sprintf("p=%d, IN≈%d; triangle LB = Ω̃(min{IN/p+OUT/p, IN/p^(2/3)})",
+			s.P, s.IN),
+		Header: []string{"OUT/IN", "IN", "OUT", "L(HyperCube△)", "LB(△)", "L/LB", "L(Line3 same IN,OUT)", "separation"},
+	}
+	rng := mpc.NewRng(s.Seed)
+	for _, f := range []int{1, 2, 4, 8, 16} {
+		in := gen.TriangleRandom(rng, s.IN, s.IN*f)
+		want := core.NaiveCount(in)
+		inSize := in.IN()
+		_, lt, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Triangle(c, in, s.Seed, em)
+		})
+		lb := stats.TriangleLower(inSize, want, s.P)
+		// An acyclic join with the same IN/OUT for the separation column.
+		l3in := gen.Line3Random(rng, inSize, int(want))
+		l3want := core.NaiveCount(l3in)
+		_, l3, _ := run(s.P, l3in, l3want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Line3(c, l3in, s.Seed, em)
+		})
+		t.Add(fmt.Sprintf("%d", f), inSize, want, lt, lb, stats.Ratio(lt, lb), l3,
+			fmt.Sprintf("%.1fx", float64(lt)/float64(maxInt(l3, 1))))
+	}
+	return t
+}
+
+// Table1Loads regenerates Table 1 as measurements: each join class's
+// algorithms on a representative skewed instance, with the bound each is
+// supposed to track.
+func Table1Loads(s Scale) *Table {
+	t := &Table{
+		Title: "Table 1 — measured load per join class (skewed representative instances)",
+		Note: fmt.Sprintf("p=%d; L_inst = instance lower bound (eq. 2); bounds per paper",
+			s.P),
+		Header: []string{"class", "instance", "algorithm", "IN", "OUT", "L", "bound", "L/bound"},
+	}
+	rng := mpc.NewRng(s.Seed)
+	p := s.P
+
+	// Tall-flat: keyed product with one hub.
+	hub := isqrtInt(4 * s.IN)
+	tf := gen.TallFlatSkewed(hub, s.IN/2)
+	tfOut := core.NaiveCount(tf)
+	tfRed := core.NaiveSemiJoinReduce(tf)
+	tfB := float64(tf.IN())/float64(p) + float64(core.LInstance(tfRed, p))
+	_, l, _ := run(p, tf, tfOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, tf, s.Seed, false, em) })
+	t.Add("tall-flat", "hub keyed product", "BinHC (1 round)", tf.IN(), tfOut, l, tfB, stats.Ratio(l, tfB))
+	_, l, _ = run(p, tf, tfOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, tf, s.Seed, em) })
+	t.Add("tall-flat", "hub keyed product", "RHier (§3.2)", tf.IN(), tfOut, l, tfB, stats.Ratio(l, tfB))
+
+	// r-hierarchical without dangling tuples.
+	rh := gen.RHierSkewed(rng, 4, isqrtInt(s.IN), s.IN/2)
+	rhOut := core.NaiveCount(rh)
+	rhB := float64(rh.IN())/float64(p) + float64(core.LInstance(core.NaiveSemiJoinReduce(rh), p))
+	_, l, _ = run(p, rh, rhOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rh, s.Seed, false, em) })
+	t.Add("r-hier (no dangling)", "hub star", "BinHC (1 round)", rh.IN(), rhOut, l, rhB, stats.Ratio(l, rhB))
+	_, l, _ = run(p, rh, rhOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, rh, s.Seed, em) })
+	t.Add("r-hier (no dangling)", "hub star", "RHier (§3.2)", rh.IN(), rhOut, l, rhB, stats.Ratio(l, rhB))
+
+	// Hierarchical with dangling tuples (the one-round barrier, [26]):
+	// a fake hub whose degree product looks like fakeDeg² but whose true
+	// output is zero — degree statistics cannot see it, a semi-join can.
+	rhd := gen.Q2FakeHub(s.IN/8, s.IN/2)
+	rhdOut := core.NaiveCount(rhd)
+	rhdB := float64(rhd.IN())/float64(p) + float64(core.LInstance(core.NaiveSemiJoinReduce(rhd), p))
+	_, l, _ = run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rhd, s.Seed, false, em) })
+	t.Add("hier (dangling)", "Q2 + fake hub", "BinHC (1 round)", rhd.IN(), rhdOut, l, rhdB, stats.Ratio(l, rhdB))
+	_, l, _ = run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rhd, s.Seed, true, em) })
+	t.Add("hier (dangling)", "Q2 + fake hub", "reduce+BinHC", rhd.IN(), rhdOut, l, rhdB, stats.Ratio(l, rhdB))
+	_, l, _ = run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, rhd, s.Seed, em) })
+	t.Add("hier (dangling)", "Q2 + fake hub", "RHier (§3.2)", rhd.IN(), rhdOut, l, rhdB, stats.Ratio(l, rhdB))
+
+	// Acyclic non-r-hierarchical: line-3 at OUT = 8·IN.
+	l3 := gen.Line3Random(rng, s.IN, 8*s.IN)
+	l3Out := core.NaiveCount(l3)
+	l3B := stats.Acyclic(l3.IN(), l3Out, p)
+	_, l, _ = run(p, l3, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.Yannakakis(c, l3, nil, s.Seed, em) })
+	t.Add("acyclic", "random line-3", "Yannakakis", l3.IN(), l3Out, l, stats.Yannakakis(l3.IN(), l3Out, p), stats.Ratio(l, stats.Yannakakis(l3.IN(), l3Out, p)))
+	_, l, _ = run(p, l3, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.Line3(c, l3, s.Seed, em) })
+	t.Add("acyclic", "random line-3", "Line3 (§4.2)", l3.IN(), l3Out, l, l3B, stats.Ratio(l, l3B))
+	_, l, _ = run(p, l3, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.AcyclicJoin(c, l3, s.Seed, em) })
+	t.Add("acyclic", "random line-3", "AcyclicJoin (§5.1)", l3.IN(), l3Out, l, l3B, stats.Ratio(l, l3B))
+
+	// Triangle.
+	tr := gen.TriangleRandom(rng, s.IN, 4*s.IN)
+	trOut := core.NaiveCount(tr)
+	trB := stats.TriangleWorstCase(tr.IN(), p)
+	_, l, _ = run(p, tr, trOut, func(c *mpc.Cluster, em mpc.Emitter) { core.Triangle(c, tr, s.Seed, em) })
+	t.Add("triangle (cyclic)", "random triangle", "HyperCube△ [24]", tr.IN(), trOut, l, trB, stats.Ratio(l, trB))
+	return t
+}
+
+// E5InstanceGap demonstrates Corollaries 2/3: an instance with
+// L_instance = O(IN/p) on which every algorithm must pay Ω̃(IN/√p) — the
+// impossibility of instance optimality beyond r-hierarchical joins.
+func E5InstanceGap(s Scale) *Table {
+	t := &Table{
+		Title: "Corollary 2/3 — instance-optimality gap on line-3 (OUT = p·IN)",
+		Note:  "L_instance = O(IN/p) yet every algorithm pays Ω̃(IN/√p)",
+		Header: []string{"p", "IN", "OUT", "L_inst(eq.2)", "IN/√p", "L(Line3)", "L(Yann)",
+			"L(Line3)/L_inst"},
+	}
+	rng := mpc.NewRng(s.Seed)
+	for _, p := range []int{16, 64, 256} {
+		// OUT = p·IN grows with p; scale IN down so the oracle's full
+		// materialization stays bounded.
+		inSize := s.IN * 16 / p
+		in := gen.Line3Random(rng, inSize, p*inSize)
+		want := core.NaiveCount(in)
+		red := core.NaiveSemiJoinReduce(in)
+		li := core.LInstance(red, p)
+		_, l3, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Line3(c, in, s.Seed, em)
+		})
+		_, ly, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Yannakakis(c, in, nil, s.Seed, em)
+		})
+		t.Add(p, in.IN(), want, li, stats.WorstCaseLine(in.IN(), p), l3, ly,
+			stats.Ratio(l3, float64(li)))
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func isqrtInt(x int) int {
+	r := 1
+	for r*r < x {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallScale keeps harness tests fast while exercising every experiment.
+func smallScale() Scale { return Scale{P: 16, IN: 1 << 10, Seed: 7} }
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bb"}, Rows: nil}
+	tab.Add(1, 2.5)
+	tab.Add("xyz", 0.001)
+	out := tab.Render()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "xyz") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Errorf("render lines = %d, want 5", len(lines))
+	}
+}
+
+func TestFig1Classification(t *testing.T) {
+	tab := Fig1Classification()
+	if len(tab.Rows) < 10 {
+		t.Fatalf("catalog rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[len(r)-1] == "unknown" {
+			t.Errorf("unclassified query %v", r[0])
+		}
+	}
+}
+
+func TestFig2Forests(t *testing.T) {
+	out := Fig2Forests()
+	if !strings.Contains(out, "x1") || !strings.Contains(out, "Q2") {
+		t.Errorf("forest output incomplete:\n%s", out)
+	}
+}
+
+func TestFig3JoinOrder(t *testing.T) {
+	tab := Fig3JoinOrder(smallScale())
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tab.Rows))
+	}
+}
+
+func TestFig4Line3Sweep(t *testing.T) {
+	tab := Fig4Line3Sweep(smallScale())
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+}
+
+func TestFig5JoinTree(t *testing.T) {
+	out := Fig5JoinTree()
+	if !strings.Contains(out, "e0=ABDGH'") {
+		t.Errorf("join tree missing e0:\n%s", out)
+	}
+}
+
+func TestFig6TriangleSweep(t *testing.T) {
+	tab := Fig6TriangleSweep(smallScale())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+}
+
+func TestTable1Loads(t *testing.T) {
+	tab := Table1Loads(smallScale())
+	if len(tab.Rows) < 9 {
+		t.Fatalf("rows = %d, want ≥ 9", len(tab.Rows))
+	}
+}
+
+func TestE2E3E4E5(t *testing.T) {
+	s := smallScale()
+	if tab := E2RHierClosedForm(s); len(tab.Rows) != 4 {
+		t.Errorf("E2 rows = %d", len(tab.Rows))
+	}
+	if tab := E3AcyclicVsYannakakis(s); len(tab.Rows) != 2 {
+		t.Errorf("E3 rows = %d", len(tab.Rows))
+	}
+	if tab := E4Aggregate(s); len(tab.Rows) != 1 {
+		t.Errorf("E4 rows = %d", len(tab.Rows))
+	}
+	if tab := E5InstanceGap(Scale{P: 16, IN: 512, Seed: 7}); len(tab.Rows) != 3 {
+		t.Errorf("E5 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := smallScale()
+	if tab := AblationTau(s); len(tab.Rows) < 3 {
+		t.Errorf("tau ablation rows = %d", len(tab.Rows))
+	}
+	if tab := AblationGrid(s); len(tab.Rows) != 2 {
+		t.Errorf("grid ablation rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,87 @@
+// Package harness runs the paper's experiments on the MPC simulator and
+// renders aligned text tables: one experiment per table/figure of the
+// paper, as indexed in DESIGN.md. Every experiment is deterministic given
+// its seed.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render returns the aligned text form.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString("== " + t.Title + " ==\n")
+	if t.Note != "" {
+		b.WriteString(t.Note + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+// Package hypergraph models join queries as hypergraphs Q = (V, E) and
+// implements the structural theory the paper builds on: GYO reduction and
+// join trees, the classification hierarchy of Figure 1 (tall-flat ⊂
+// hierarchical ⊂ r-hierarchical ⊂ acyclic), attribute forests (Figure 2),
+// minimal paths of length 3 (Lemma 2), integral edge covers (Lemma 1), and
+// the free-connex / out-hierarchical tests of Section 6.
+package hypergraph
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// AttrSet is a set of attributes stored as a sorted, duplicate-free slice.
+type AttrSet []relation.Attr
+
+// NewAttrSet returns the set of the given attributes.
+func NewAttrSet(attrs ...relation.Attr) AttrSet {
+	s := append(AttrSet(nil), attrs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, a := range s {
+		if i == 0 || a != s[i-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Has reports whether a is in s.
+func (s AttrSet) Has(a relation.Attr) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= a })
+	return i < len(s) && s[i] == a
+}
+
+// SubsetOf reports whether every attribute of s is in t.
+func (s AttrSet) SubsetOf(t AttrSet) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			i++
+			j++
+		case s[i] > t[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(s)
+}
+
+// Equal reports whether s and t contain the same attributes.
+func (s AttrSet) Equal(t AttrSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns s ∩ t.
+func (s AttrSet) Intersect(t AttrSet) AttrSet {
+	var out AttrSet
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t.
+func (s AttrSet) Union(t AttrSet) AttrSet {
+	out := make(AttrSet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) || j < len(t) {
+		switch {
+		case j == len(t) || (i < len(s) && s[i] < t[j]):
+			out = append(out, s[i])
+			i++
+		case i == len(s) || t[j] < s[i]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Minus returns s \ t.
+func (s AttrSet) Minus(t AttrSet) AttrSet {
+	var out AttrSet
+	j := 0
+	for _, a := range s {
+		for j < len(t) && t[j] < a {
+			j++
+		}
+		if j < len(t) && t[j] == a {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Disjoint reports whether s ∩ t = ∅.
+func (s AttrSet) Disjoint(t AttrSet) bool { return len(s.Intersect(t)) == 0 }
+
+// Clone returns a copy of s.
+func (s AttrSet) Clone() AttrSet { return append(AttrSet(nil), s...) }
+
+// Schema converts the set to a relation.Schema (sorted attribute order).
+func (s AttrSet) Schema() relation.Schema {
+	return relation.NewSchema([]relation.Attr(s)...)
+}

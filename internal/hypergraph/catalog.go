@@ -1,0 +1,130 @@
+package hypergraph
+
+import "repro/internal/relation"
+
+// Catalog of the queries used throughout the paper; shared by tests,
+// benchmarks, examples and the classify command. Attribute numbering
+// follows the paper where one is given.
+
+// CatalogEntry names a query and the class the paper assigns to it.
+type CatalogEntry struct {
+	Name  string
+	Q     *Hypergraph
+	Class Class
+}
+
+// Line2 is the binary join R1(A,B) ⋈ R2(B,C).
+func Line2() *Hypergraph {
+	return New(NewAttrSet(1, 2), NewAttrSet(2, 3))
+}
+
+// Line3 is R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D), the simplest acyclic but not
+// r-hierarchical join (Section 4). Attributes: A=1, B=2, C=3, D=4.
+func Line3() *Hypergraph {
+	return New(NewAttrSet(1, 2), NewAttrSet(2, 3), NewAttrSet(3, 4))
+}
+
+// LineK is the length-k chain join R1(x1,x2) ⋈ … ⋈ Rk(xk,xk+1).
+func LineK(k int) *Hypergraph {
+	h := &Hypergraph{}
+	for i := 1; i <= k; i++ {
+		h.Edges = append(h.Edges, NewAttrSet(attr(i), attr(i+1)))
+	}
+	return h
+}
+
+// StarK is the star join R1(x0,x1) ⋈ R2(x0,x2) ⋈ … ⋈ Rk(x0,xk).
+func StarK(k int) *Hypergraph {
+	h := &Hypergraph{}
+	for i := 1; i <= k; i++ {
+		h.Edges = append(h.Edges, NewAttrSet(0, attr(i)))
+	}
+	return h
+}
+
+// Q1TallFlat is the paper's tall-flat example (Section 3, Figure 2):
+// R1(x1) ⋈ R2(x1,x2) ⋈ R3(x1,x2,x3) ⋈ R4(x1,x2,x3,x4) ⋈ R5(x1,x2,x3,x5)
+// ⋈ R6(x1,x2,x3,x6).
+func Q1TallFlat() *Hypergraph {
+	return New(
+		NewAttrSet(1),
+		NewAttrSet(1, 2),
+		NewAttrSet(1, 2, 3),
+		NewAttrSet(1, 2, 3, 4),
+		NewAttrSet(1, 2, 3, 5),
+		NewAttrSet(1, 2, 3, 6),
+	)
+}
+
+// Q2Hierarchical is the paper's hierarchical (not tall-flat) example:
+// R1(x1,x2) ⋈ R2(x1,x3,x4) ⋈ R3(x1,x3,x5).
+func Q2Hierarchical() *Hypergraph {
+	return New(
+		NewAttrSet(1, 2),
+		NewAttrSet(1, 3, 4),
+		NewAttrSet(1, 3, 5),
+	)
+}
+
+// Q2RHier extends Q2 with R4(x3,x5) ⋈ R5(x5), the paper's r-hierarchical
+// (not hierarchical) example.
+func Q2RHier() *Hypergraph {
+	q := Q2Hierarchical()
+	q.Edges = append(q.Edges, NewAttrSet(3, 5), NewAttrSet(5))
+	return q
+}
+
+// RHierSimple is R1(A) ⋈ R2(A,B) ⋈ R3(B), r-hierarchical but not
+// hierarchical (Section 1.4).
+func RHierSimple() *Hypergraph {
+	return New(NewAttrSet(1), NewAttrSet(1, 2), NewAttrSet(2))
+}
+
+// CartesianK is the k-way Cartesian product R1(x1) × … × Rk(xk).
+func CartesianK(k int) *Hypergraph {
+	h := &Hypergraph{}
+	for i := 1; i <= k; i++ {
+		h.Edges = append(h.Edges, NewAttrSet(attr(i)))
+	}
+	return h
+}
+
+// Triangle is R1(B,C) ⋈ R2(A,C) ⋈ R3(A,B), the simplest cyclic join
+// (Section 7). Attributes: A=1, B=2, C=3.
+func Triangle() *Hypergraph {
+	return New(NewAttrSet(2, 3), NewAttrSet(1, 3), NewAttrSet(1, 2))
+}
+
+// Fig5Example is the join-tree fragment of Figure 5: e0 = ABDGH' with leaf
+// children ABC, BD, B, ADE, DF, HH'. Attributes: A=1 B=2 C=3 D=4 E=5 F=6
+// G=7 H=8 H'=9.
+func Fig5Example() *Hypergraph {
+	return New(
+		NewAttrSet(1, 2, 4, 7, 9), // e0 = ABDGH'
+		NewAttrSet(1, 2, 3),       // e1 = ABC
+		NewAttrSet(2, 4),          // e2 = BD
+		NewAttrSet(2),             // e3 = B
+		NewAttrSet(1, 4, 5),       // e4 = ADE
+		NewAttrSet(4, 6),          // e5 = DF
+		NewAttrSet(8, 9),          // e6 = HH'
+	)
+}
+
+// Catalog returns the named queries with their paper-assigned classes.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{"binary join R1(A,B)⋈R2(B,C)", Line2(), TallFlat},
+		{"tall-flat Q1 (Fig 2 left)", Q1TallFlat(), TallFlat},
+		{"hierarchical Q2 (Fig 2 right)", Q2Hierarchical(), Hierarchical},
+		{"r-hierarchical Q2⋈R4(x3,x5)⋈R5(x5)", Q2RHier(), RHierarchical},
+		{"r-hierarchical R1(A)⋈R2(A,B)⋈R3(B)", RHierSimple(), RHierarchical},
+		{"line-3 join (Section 4)", Line3(), Acyclic},
+		{"line-4 join", LineK(4), Acyclic},
+		{"star join k=3", StarK(3), TallFlat},
+		{"Cartesian product k=3", CartesianK(3), Hierarchical},
+		{"Figure 5 acyclic example", Fig5Example(), Acyclic},
+		{"triangle join (Section 7)", Triangle(), Cyclic},
+	}
+}
+
+func attr(i int) relation.Attr { return relation.Attr(i) }

@@ -1,0 +1,166 @@
+package hypergraph
+
+import "sort"
+
+// Class is a position in the paper's Figure 1 hierarchy. Classes are
+// cumulative: TallFlat implies Hierarchical implies RHierarchical implies
+// Acyclic. Classify returns the most specific class.
+type Class int
+
+const (
+	// Cyclic joins fall outside the paper's acyclic hierarchy.
+	Cyclic Class = iota
+	// Acyclic joins are α-acyclic but not r-hierarchical.
+	Acyclic
+	// RHierarchical joins reduce to hierarchical joins.
+	RHierarchical
+	// Hierarchical joins have laminar attribute edge-sets.
+	Hierarchical
+	// TallFlat joins are hierarchical with a single stem plus leaves.
+	TallFlat
+)
+
+// String names the class as in the paper.
+func (c Class) String() string {
+	switch c {
+	case Cyclic:
+		return "cyclic"
+	case Acyclic:
+		return "acyclic"
+	case RHierarchical:
+		return "r-hierarchical"
+	case Hierarchical:
+		return "hierarchical"
+	case TallFlat:
+		return "tall-flat"
+	}
+	return "unknown"
+}
+
+// IsHierarchical reports whether for every pair of attributes x, y the edge
+// sets satisfy E_x ⊆ E_y, E_y ⊆ E_x, or E_x ∩ E_y = ∅ (Section 1.4).
+func (h *Hypergraph) IsHierarchical() bool {
+	attrs := h.Attrs()
+	sets := make(map[int][]int, len(attrs))
+	for i, a := range attrs {
+		sets[i] = h.EdgesWith(a)
+	}
+	for i := range attrs {
+		for j := i + 1; j < len(attrs); j++ {
+			if !laminar(sets[i], sets[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// laminar reports whether sorted int sets a, b satisfy a⊆b, b⊆a, or a∩b=∅.
+func laminar(a, b []int) bool {
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return inter == 0 || inter == len(a) || inter == len(b)
+}
+
+// IsRHierarchical reports whether the reduced hypergraph is hierarchical.
+func (h *Hypergraph) IsRHierarchical() bool {
+	r, _ := h.Reduce()
+	return r.IsHierarchical()
+}
+
+// IsTallFlat reports whether the attributes can be ordered
+// x1,…,xh,y1,…,yl such that (1) E_x1 ⊇ … ⊇ E_xh, (2) E_xh ⊇ E_yj for all j,
+// and (3) |E_yj| = 1 for all j (Section 1.4, after [26]).
+//
+// Single-edge queries are trivially tall-flat. With two or more edges we
+// require a non-empty stem (h ≥ 1): every relation must contain the top stem
+// attribute.
+func (h *Hypergraph) IsTallFlat() bool {
+	if len(h.Edges) <= 1 {
+		return true
+	}
+	attrs := h.Attrs()
+	type av struct {
+		deg   int
+		edges []int
+	}
+	var stem []av
+	var leaves []av
+	for _, a := range attrs {
+		es := h.EdgesWith(a)
+		if len(es) == 1 {
+			leaves = append(leaves, av{1, es})
+		} else {
+			stem = append(stem, av{len(es), es})
+		}
+	}
+	if len(stem) == 0 {
+		return false
+	}
+	// Sort prospective stem by degree descending; must be a ⊇-chain.
+	sort.Slice(stem, func(i, j int) bool { return stem[i].deg > stem[j].deg })
+	for i := 0; i+1 < len(stem); i++ {
+		if !intSubset(stem[i+1].edges, stem[i].edges) {
+			return false
+		}
+	}
+	// E_x1 must be all edges (every relation contains the top stem attr).
+	if stem[0].deg != len(h.Edges) {
+		return false
+	}
+	// Every leaf attribute's single edge must contain the bottom stem attr.
+	bottom := stem[len(stem)-1].edges
+	for _, y := range leaves {
+		if !intSubset(y.edges, bottom) {
+			return false
+		}
+	}
+	return true
+}
+
+// intSubset reports whether sorted int slice a ⊆ b.
+func intSubset(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// Classify returns the most specific class of the query in Figure 1's
+// hierarchy.
+func (h *Hypergraph) Classify() Class {
+	if !h.IsAcyclic() {
+		return Cyclic
+	}
+	if h.IsTallFlat() {
+		return TallFlat
+	}
+	if h.IsHierarchical() {
+		return Hierarchical
+	}
+	if h.IsRHierarchical() {
+		return RHierarchical
+	}
+	return Acyclic
+}

@@ -1,0 +1,94 @@
+package hypergraph
+
+// EdgeCover returns an integral edge cover of an acyclic hypergraph: a set
+// of edge indices whose union is all attributes, of minimum cardinality.
+// By Lemma 1 of the paper, acyclic joins have integral edge cover number, so
+// this greedy GYO-style procedure is optimal:
+//
+//   - if e ⊆ e', drop e (weight 0 — shift weight to the larger edge);
+//   - if some attribute is unique to e, take e (weight 1) and remove all of
+//     e's attributes everywhere.
+//
+// It panics on cyclic inputs: callers classify first.
+func (h *Hypergraph) EdgeCover() []int {
+	if !h.IsAcyclic() {
+		panic("hypergraph: EdgeCover on cyclic query")
+	}
+	n := len(h.Edges)
+	cur := make([]AttrSet, n)
+	for i, e := range h.Edges {
+		cur[i] = e.Clone()
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	var cover []int
+	for {
+		progress := false
+		// Rule 1: drop contained edges.
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i == j || !alive[j] {
+					continue
+				}
+				if cur[i].SubsetOf(cur[j]) && !(cur[i].Equal(cur[j]) && i < j) {
+					alive[i] = false
+					progress = true
+					break
+				}
+			}
+		}
+		// Rule 2: an attribute unique to a single edge forces that edge.
+		counts := make(map[int]int) // attr -> #alive edges containing it
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for _, a := range cur[i] {
+				counts[int(a)]++
+			}
+		}
+		for i := 0; i < n && !progress; i++ {
+			if !alive[i] {
+				continue
+			}
+			for _, a := range cur[i] {
+				if counts[int(a)] == 1 {
+					cover = append(cover, i)
+					taken := cur[i]
+					alive[i] = false
+					for j := 0; j < n; j++ {
+						if alive[j] {
+							cur[j] = cur[j].Minus(taken)
+						}
+					}
+					progress = true
+					break
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+		// Drop edges that became empty.
+		for i := 0; i < n; i++ {
+			if alive[i] && len(cur[i]) == 0 {
+				alive[i] = false
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			// GYO on an acyclic query always empties via the two rules.
+			panic("hypergraph: EdgeCover did not converge")
+		}
+	}
+	return cover
+}
+
+// EdgeCoverNumber returns ρ, the (integral) edge cover number.
+func (h *Hypergraph) EdgeCoverNumber() int { return len(h.EdgeCover()) }

@@ -1,0 +1,194 @@
+package mpc
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Item is a tuple with its semiring annotation (1 for plain joins).
+type Item struct {
+	T relation.Tuple
+	A int64
+}
+
+// Dist is a distributed collection of items over a cluster: Parts[s] holds
+// the items currently residing on server s. Every routing operation on a
+// Dist is one communication round and is charged to the cluster.
+type Dist struct {
+	C      *Cluster
+	Schema relation.Schema
+	Parts  [][]Item
+}
+
+// NewDist returns an empty distributed collection.
+func NewDist(c *Cluster, schema relation.Schema) *Dist {
+	return &Dist{C: c, Schema: schema, Parts: make([][]Item, c.P)}
+}
+
+// FromRelation distributes r round-robin over the cluster, charging the
+// initial placement to round 0 (the model's starting state: IN/p each).
+func FromRelation(c *Cluster, r *relation.Relation) *Dist {
+	d := NewDist(c, r.Schema)
+	for i, t := range r.Tuples {
+		s := i % c.P
+		d.Parts[s] = append(d.Parts[s], Item{T: t, A: r.Annot(i)})
+		c.input(s, 1)
+	}
+	return d
+}
+
+// Size returns the total number of items across servers.
+func (d *Dist) Size() int {
+	n := 0
+	for _, p := range d.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// All returns every item (server order). Used by tests and emitters.
+func (d *Dist) All() []Item {
+	out := make([]Item, 0, d.Size())
+	for _, p := range d.Parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// ToRelation collects the distributed items into a relation (no load is
+// charged: this is a test/inspection helper, not an MPC operation).
+func (d *Dist) ToRelation(name string) *relation.Relation {
+	r := relation.New(name, d.Schema)
+	r.Annots = []int64{}
+	for _, p := range d.Parts {
+		for _, it := range p {
+			r.Tuples = append(r.Tuples, it.T)
+			r.Annots = append(r.Annots, it.A)
+		}
+	}
+	return r
+}
+
+// Positions resolves attrs against the schema.
+func (d *Dist) Positions(attrs []relation.Attr) []int {
+	return d.Schema.Positions(attrs)
+}
+
+// route ships items to destination servers and charges one round.
+func (d *Dist) route(schema relation.Schema, dest func(s int, it Item) []int) *Dist {
+	out := &Dist{C: d.C, Schema: schema, Parts: make([][]Item, d.C.P)}
+	r := d.C.newRound()
+	for s, part := range d.Parts {
+		for _, it := range part {
+			for _, t := range dest(s, it) {
+				if t < 0 || t >= d.C.P {
+					panic(fmt.Sprintf("mpc: route to invalid server %d", t))
+				}
+				out.Parts[t] = append(out.Parts[t], it)
+				d.C.receive(r, t, 1)
+			}
+		}
+	}
+	return out
+}
+
+// ShuffleByKey hashes each item's projection onto pos and routes it to
+// hash % P. Salt decorrelates successive shuffles of the same keys.
+func (d *Dist) ShuffleByKey(pos []int, salt uint64) *Dist {
+	p := d.C.P
+	return d.route(d.Schema, func(_ int, it Item) []int {
+		return []int{int(Hash64(relation.KeyAt(it.T, pos), salt) % uint64(p))}
+	})
+}
+
+// ShuffleByAttrs hashes each item's projection onto attrs (resolved against
+// the schema) and routes it to hash % P.
+func (d *Dist) ShuffleByAttrs(attrs []relation.Attr, salt uint64) *Dist {
+	return d.ShuffleByKey(d.Positions(attrs), salt)
+}
+
+// ShuffleBy routes each item to the single server chosen by f.
+func (d *Dist) ShuffleBy(f func(it Item) int) *Dist {
+	return d.route(d.Schema, func(_ int, it Item) []int { return []int{f(it)} })
+}
+
+// ReplicateBy routes each item to every server chosen by f (used by
+// HyperCube-style plans where a tuple is copied along grid dimensions).
+func (d *Dist) ReplicateBy(f func(it Item) []int) *Dist {
+	return d.route(d.Schema, func(_ int, it Item) []int { return f(it) })
+}
+
+// Broadcast copies every item to all servers: one round, load = Size() per
+// server. Only used for provably small collections (boundaries, statistics).
+func (d *Dist) Broadcast() *Dist {
+	all := make([]int, d.C.P)
+	for i := range all {
+		all[i] = i
+	}
+	return d.route(d.Schema, func(_ int, _ Item) []int { return all })
+}
+
+// GatherTo ships everything to a single server.
+func (d *Dist) GatherTo(s int) *Dist {
+	return d.route(d.Schema, func(_ int, _ Item) []int { return []int{s} })
+}
+
+// MapLocal rewrites every item locally (no communication, no new round).
+// f returns the replacement items for one input item.
+func (d *Dist) MapLocal(schema relation.Schema, f func(s int, it Item) []Item) *Dist {
+	out := &Dist{C: d.C, Schema: schema, Parts: make([][]Item, d.C.P)}
+	for s, part := range d.Parts {
+		for _, it := range part {
+			out.Parts[s] = append(out.Parts[s], f(s, it)...)
+		}
+	}
+	return out
+}
+
+// FilterLocal keeps items satisfying pred; local, free.
+func (d *Dist) FilterLocal(pred func(it Item) bool) *Dist {
+	out := &Dist{C: d.C, Schema: d.Schema, Parts: make([][]Item, d.C.P)}
+	for s, part := range d.Parts {
+		for _, it := range part {
+			if pred(it) {
+				out.Parts[s] = append(out.Parts[s], it)
+			}
+		}
+	}
+	return out
+}
+
+// Concat unions several collections sharing a schema; local, free.
+func Concat(ds ...*Dist) *Dist {
+	if len(ds) == 0 {
+		panic("mpc: Concat of nothing")
+	}
+	out := &Dist{C: ds[0].C, Schema: ds[0].Schema, Parts: make([][]Item, ds[0].C.P)}
+	for _, d := range ds {
+		if !d.Schema.Equal(out.Schema) {
+			panic("mpc: Concat schema mismatch")
+		}
+		for s, part := range d.Parts {
+			out.Parts[s] = append(out.Parts[s], part...)
+		}
+	}
+	return out
+}
+
+// MoveTo re-registers the collection on another cluster, charging the new
+// cluster's round 0 with the items as its initial input. Used when handing
+// a sub-problem to a sub-cluster; items are spread round-robin.
+func (d *Dist) MoveTo(sub *Cluster) *Dist {
+	out := &Dist{C: sub, Schema: d.Schema, Parts: make([][]Item, sub.P)}
+	i := 0
+	for _, part := range d.Parts {
+		for _, it := range part {
+			s := i % sub.P
+			i++
+			out.Parts[s] = append(out.Parts[s], it)
+			sub.input(s, 1)
+		}
+	}
+	return out
+}

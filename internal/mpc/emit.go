@@ -1,0 +1,76 @@
+package mpc
+
+import (
+	"repro/internal/relation"
+)
+
+// Emitter receives join results. Emission is the model's zero-cost emit():
+// it charges no load. The schema of emitted tuples is fixed per join.
+type Emitter interface {
+	Emit(server int, t relation.Tuple, annot int64)
+}
+
+// CountEmitter counts results and sums annotations (for COUNT-style
+// verification) without materializing tuples.
+type CountEmitter struct {
+	N        int64
+	AnnotSum int64
+	ring     relation.Semiring
+}
+
+// NewCountEmitter returns a counter aggregating annotations in ring.
+func NewCountEmitter(ring relation.Semiring) *CountEmitter {
+	return &CountEmitter{AnnotSum: ring.Zero, ring: ring}
+}
+
+// Emit implements Emitter.
+func (e *CountEmitter) Emit(_ int, _ relation.Tuple, annot int64) {
+	e.N++
+	e.AnnotSum = e.ring.Add(e.AnnotSum, annot)
+}
+
+// CollectEmitter materializes every result into a relation; test use only.
+type CollectEmitter struct {
+	Rel *relation.Relation
+}
+
+// NewCollectEmitter returns a collector over the given output schema.
+func NewCollectEmitter(schema relation.Schema) *CollectEmitter {
+	r := relation.New("out", schema)
+	r.Annots = []int64{}
+	return &CollectEmitter{Rel: r}
+}
+
+// Emit implements Emitter.
+func (e *CollectEmitter) Emit(_ int, t relation.Tuple, annot int64) {
+	e.Rel.Tuples = append(e.Rel.Tuples, t.Clone())
+	e.Rel.Annots = append(e.Rel.Annots, annot)
+}
+
+// PerServerCounter tracks how many results each server emits; used by tests
+// asserting that grid arrangements emit without redundancy.
+type PerServerCounter struct {
+	Counts []int64
+}
+
+// NewPerServerCounter returns a counter for p servers.
+func NewPerServerCounter(p int) *PerServerCounter {
+	return &PerServerCounter{Counts: make([]int64, p)}
+}
+
+// Emit implements Emitter.
+func (e *PerServerCounter) Emit(server int, _ relation.Tuple, _ int64) {
+	if server >= 0 && server < len(e.Counts) {
+		e.Counts[server]++
+	}
+}
+
+// MultiEmitter fans one emission out to several emitters.
+type MultiEmitter []Emitter
+
+// Emit implements Emitter.
+func (m MultiEmitter) Emit(server int, t relation.Tuple, annot int64) {
+	for _, e := range m {
+		e.Emit(server, t, annot)
+	}
+}

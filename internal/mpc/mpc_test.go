@@ -1,0 +1,296 @@
+package mpc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func mkRel(n int) *relation.Relation {
+	r := relation.New("R", relation.NewSchema(1, 2))
+	for i := 0; i < n; i++ {
+		r.Add(relation.Value(i), relation.Value(i%7))
+	}
+	return r
+}
+
+func TestFromRelationInputLoad(t *testing.T) {
+	c := NewCluster(4)
+	d := FromRelation(c, mkRel(100))
+	if d.Size() != 100 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if got := c.MaxLoad(); got != 25 {
+		t.Errorf("initial MaxLoad = %d, want 25", got)
+	}
+	if c.Rounds() != 0 {
+		t.Errorf("Rounds = %d, want 0 (input is round 0)", c.Rounds())
+	}
+}
+
+func TestShuffleByKeyRoundAndLoad(t *testing.T) {
+	c := NewCluster(4)
+	d := FromRelation(c, mkRel(100))
+	s := d.ShuffleByKey(d.Positions([]relation.Attr{1}), 1)
+	if s.Size() != 100 {
+		t.Fatalf("shuffle lost tuples: %d", s.Size())
+	}
+	if c.Rounds() != 1 {
+		t.Errorf("Rounds = %d, want 1", c.Rounds())
+	}
+	if c.TotalComm() != 100 {
+		t.Errorf("TotalComm = %d, want 100", c.TotalComm())
+	}
+	// Same key must land on the same server.
+	pos := s.Positions([]relation.Attr{1})
+	loc := map[string]int{}
+	for srv, part := range s.Parts {
+		for _, it := range part {
+			k := relation.KeyAt(it.T, pos)
+			if prev, ok := loc[k]; ok && prev != srv {
+				t.Fatalf("key split across servers %d and %d", prev, srv)
+			}
+			loc[k] = srv
+		}
+	}
+}
+
+func TestShuffleSkewConcentrates(t *testing.T) {
+	// All tuples share one key: hashing must place the full relation on a
+	// single server (this is exactly the skew the paper's algorithms avoid).
+	c := NewCluster(8)
+	r := relation.New("R", relation.NewSchema(1))
+	for i := 0; i < 64; i++ {
+		r.Add(42)
+	}
+	d := FromRelation(c, r)
+	s := d.ShuffleByKey(d.Positions([]relation.Attr{1}), 3)
+	max := 0
+	for _, part := range s.Parts {
+		if len(part) > max {
+			max = len(part)
+		}
+	}
+	if max != 64 {
+		t.Errorf("skewed shuffle max part = %d, want 64", max)
+	}
+	if c.MaxLoad() != 64 {
+		t.Errorf("MaxLoad = %d, want 64", c.MaxLoad())
+	}
+}
+
+func TestBroadcastLoad(t *testing.T) {
+	c := NewCluster(5)
+	d := FromRelation(c, mkRel(10))
+	b := d.Broadcast()
+	if b.Size() != 50 {
+		t.Errorf("broadcast size = %d, want 50", b.Size())
+	}
+	if got := c.RoundMax(1); got != 10 {
+		t.Errorf("broadcast round load = %d, want 10", got)
+	}
+}
+
+func TestGatherTo(t *testing.T) {
+	c := NewCluster(4)
+	d := FromRelation(c, mkRel(40))
+	g := d.GatherTo(2)
+	if len(g.Parts[2]) != 40 {
+		t.Errorf("gather target has %d", len(g.Parts[2]))
+	}
+	for s, part := range g.Parts {
+		if s != 2 && len(part) != 0 {
+			t.Errorf("server %d not empty", s)
+		}
+	}
+}
+
+func TestReplicateBy(t *testing.T) {
+	c := NewCluster(4)
+	d := FromRelation(c, mkRel(10))
+	r := d.ReplicateBy(func(it Item) []int { return []int{0, 3} })
+	if len(r.Parts[0]) != 10 || len(r.Parts[3]) != 10 {
+		t.Errorf("replicate parts = %d,%d", len(r.Parts[0]), len(r.Parts[3]))
+	}
+}
+
+func TestRouteInvalidServerPanics(t *testing.T) {
+	c := NewCluster(2)
+	d := FromRelation(c, mkRel(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("routing to invalid server did not panic")
+		}
+	}()
+	d.ShuffleBy(func(it Item) int { return 7 })
+}
+
+func TestMapFilterLocalFree(t *testing.T) {
+	c := NewCluster(4)
+	d := FromRelation(c, mkRel(20))
+	before := c.Rounds()
+	m := d.MapLocal(d.Schema, func(s int, it Item) []Item {
+		if it.T[0]%2 == 0 {
+			return []Item{it}
+		}
+		return nil
+	})
+	f := d.FilterLocal(func(it Item) bool { return it.T[0]%2 == 0 })
+	if m.Size() != f.Size() || m.Size() != 10 {
+		t.Errorf("sizes: map=%d filter=%d want 10", m.Size(), f.Size())
+	}
+	if c.Rounds() != before {
+		t.Errorf("local ops charged rounds: %d -> %d", before, c.Rounds())
+	}
+}
+
+func TestConcatSchemaMismatchPanics(t *testing.T) {
+	c := NewCluster(2)
+	a := NewDist(c, relation.NewSchema(1))
+	b := NewDist(c, relation.NewSchema(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Concat with schema mismatch did not panic")
+		}
+	}()
+	Concat(a, b)
+}
+
+func TestMoveToChargesSubInput(t *testing.T) {
+	c := NewCluster(8)
+	d := FromRelation(c, mkRel(64))
+	sub := NewCluster(2)
+	m := d.MoveTo(sub)
+	if m.Size() != 64 {
+		t.Fatalf("MoveTo lost tuples")
+	}
+	if sub.MaxLoad() != 32 {
+		t.Errorf("sub input load = %d, want 32", sub.MaxLoad())
+	}
+}
+
+func TestMergeSequential(t *testing.T) {
+	c := NewCluster(4)
+	sub := NewCluster(2)
+	sub.input(0, 10)
+	r := sub.newRound()
+	sub.receive(r, 1, 7)
+	c.MergeSequential(sub.Snapshot())
+	if c.MaxLoad() != 10 {
+		t.Errorf("MaxLoad = %d, want 10", c.MaxLoad())
+	}
+	if c.Rounds() != 2 {
+		t.Errorf("Rounds = %d, want 2 (input + 1)", c.Rounds())
+	}
+}
+
+func TestMergeParallel(t *testing.T) {
+	c := NewCluster(4)
+	mk := func(load int) Stats {
+		s := NewCluster(2)
+		r := s.newRound()
+		s.receive(r, 0, load)
+		return s.Snapshot()
+	}
+	c.MergeParallel([]Stats{mk(5), mk(9), mk(3)})
+	if c.MaxLoad() != 9 {
+		t.Errorf("parallel merge MaxLoad = %d, want 9", c.MaxLoad())
+	}
+}
+
+func TestMergeGridSums(t *testing.T) {
+	c := NewCluster(4)
+	mk := func(load int) Stats {
+		s := NewCluster(2)
+		r := s.newRound()
+		s.receive(r, 0, load)
+		return s.Snapshot()
+	}
+	c.MergeGrid([]Stats{mk(5), mk(9)})
+	if c.MaxLoad() != 14 {
+		t.Errorf("grid merge MaxLoad = %d, want 14", c.MaxLoad())
+	}
+}
+
+func TestChargeRound(t *testing.T) {
+	c := NewCluster(3)
+	c.ChargeRound([]int{1, 5, 2})
+	if c.MaxLoad() != 5 {
+		t.Errorf("MaxLoad = %d, want 5", c.MaxLoad())
+	}
+	c.Charge(0, 9)
+	if c.MaxLoad() != 9 || c.Rounds() != 2 {
+		t.Errorf("after Charge: load=%d rounds=%d", c.MaxLoad(), c.Rounds())
+	}
+}
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := NewRng(42), NewRng(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("Rng not deterministic")
+		}
+	}
+	if NewRng(1).Next() == NewRng(2).Next() {
+		t.Error("different seeds produced same first value")
+	}
+}
+
+func TestRngIntnRange(t *testing.T) {
+	r := NewRng(7)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRngPerm(t *testing.T) {
+	r := NewRng(9)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHash64SaltMatters(t *testing.T) {
+	if Hash64("abc", 1) == Hash64("abc", 2) {
+		t.Error("salt has no effect")
+	}
+	if Hash64("abc", 1) != Hash64("abc", 1) {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestEmitters(t *testing.T) {
+	ce := NewCountEmitter(relation.CountRing)
+	ce.Emit(0, relation.Tuple{1}, 2)
+	ce.Emit(1, relation.Tuple{2}, 3)
+	if ce.N != 2 || ce.AnnotSum != 5 {
+		t.Errorf("count emitter N=%d sum=%d", ce.N, ce.AnnotSum)
+	}
+	col := NewCollectEmitter(relation.NewSchema(1))
+	psc := NewPerServerCounter(2)
+	m := MultiEmitter{col, psc}
+	m.Emit(1, relation.Tuple{5}, 1)
+	if col.Rel.Size() != 1 || psc.Counts[1] != 1 {
+		t.Errorf("multi emitter failed")
+	}
+}
+
+func TestClusterInvalidP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCluster(0) did not panic")
+		}
+	}()
+	NewCluster(0)
+}

@@ -1,0 +1,58 @@
+package mpc
+
+// Rng is a splitmix64 pseudo-random generator: tiny, fast, and with
+// explicit state so every simulation is reproducible from its seed.
+type Rng struct{ state uint64 }
+
+// NewRng returns a generator seeded with seed.
+func NewRng(seed uint64) *Rng { return &Rng{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *Rng) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *Rng) Intn(n int) int {
+	if n <= 0 {
+		panic("mpc: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rng) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rng) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Hash64 mixes a byte string and a salt into 64 bits (FNV-1a core with a
+// splitmix finalizer). Used for key routing; deterministic across runs.
+func Hash64(key string, salt uint64) uint64 {
+	h := uint64(14695981039346656037) ^ (salt * 0x9e3779b97f4a7c15)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

@@ -1,0 +1,48 @@
+package primitives
+
+import (
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// Range is a half-open server interval [Lo, Hi) allocated to a subproblem.
+type Range struct{ Lo, Hi int }
+
+// Width returns the number of servers in the range.
+func (r Range) Width() int { return r.Hi - r.Lo }
+
+// AllocateServers implements the server-allocation primitive [18]: given a
+// directory with one item per subproblem, annotated with the number of
+// servers p(j) it needs, it assigns disjoint ranges [p1(j), p2(j)) with
+// max_j p2(j) ≤ Σ_j p(j). Every server learns the full directory, which has
+// O(#subproblems) entries — the callers guarantee #subproblems = O(p).
+//
+// The returned map is keyed by the subproblem tuple's encoding.
+func AllocateServers(dir *mpc.Dist) map[string]Range {
+	out := make(map[string]Range, dir.Size())
+	offset := 0
+	for _, part := range dir.Parts {
+		for _, it := range part {
+			k := relation.EncodeTuple(it.T)
+			if _, dup := out[k]; dup {
+				panic("primitives: AllocateServers duplicate subproblem key")
+			}
+			w := int(it.A)
+			if w < 1 {
+				panic("primitives: AllocateServers non-positive width")
+			}
+			out[k] = Range{Lo: offset, Hi: offset + w}
+			offset += w
+		}
+	}
+	// Gather directory to the coordinator, then broadcast: every server
+	// receives the whole directory.
+	n := dir.Size()
+	dir.C.Charge(0, n)
+	loads := make([]int, dir.C.P)
+	for i := range loads {
+		loads[i] = n
+	}
+	dir.C.ChargeRound(loads)
+	return out
+}

@@ -1,0 +1,165 @@
+package primitives
+
+import (
+	"fmt"
+
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// LookupResult is handed to the combine callback of Lookup for every x item.
+type LookupResult struct {
+	Found  bool
+	DTuple relation.Tuple
+	DAnnot int64
+}
+
+// Lookup is the paper's multi-search primitive specialized to the uses in
+// the paper's algorithms: for every item of x, find the unique d item with
+// an equal key (exact match; d must have at most one item per key, as
+// produced by SumByKey/DistinctByKey) and rewrite the x item via combine.
+// combine returns the replacement item and whether to keep it.
+//
+// The implementation is sort-based and therefore skew-proof: x and d are
+// sorted together by key (d entries first), cut into p equal chunks, and
+// the "last seen d entry" flows across chunk boundaries through the
+// coordinator. Load: O((|x|+|d|)/p + p) in O(1) rounds.
+func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr,
+	outSchema relation.Schema,
+	combine func(it mpc.Item, r LookupResult) (mpc.Item, bool)) *mpc.Dist {
+
+	xPos := x.Positions(xKey)
+	dPos := d.Positions(dKey)
+
+	recs := make([]rec, 0, x.Size()+d.Size())
+	dupCheck := make(map[string]bool, d.Size())
+	for _, part := range d.Parts {
+		for _, it := range part {
+			k := relation.KeyAt(it.T, dPos)
+			if dupCheck[k] {
+				panic(fmt.Sprintf("primitives: Lookup directory has duplicate key %v", relation.DecodeKey(k)))
+			}
+			dupCheck[k] = true
+			recs = append(recs, rec{key: k, tag: 0, it: it})
+		}
+	}
+	for _, part := range x.Parts {
+		for _, it := range part {
+			recs = append(recs, rec{key: relation.KeyAt(it.T, xPos), tag: 1, it: it})
+		}
+	}
+
+	chunks := sortAndChop(x.C, recs)
+
+	// Boundary propagation: carry[s] = the latest d record at or before the
+	// start of chunk s. One coordinator exchange.
+	carry := make([]*rec, x.C.P)
+	var last *rec
+	for s := range chunks {
+		carry[s] = last
+		for i := range chunks[s] {
+			if chunks[s][i].tag == 0 {
+				r := chunks[s][i]
+				last = &r
+			}
+		}
+	}
+	chargeCoordinatorExchange(x.C)
+
+	out := mpc.NewDist(x.C, outSchema)
+	for s, chunk := range chunks {
+		cur := carry[s]
+		for _, r := range chunk {
+			if r.tag == 0 {
+				rr := r
+				cur = &rr
+				continue
+			}
+			res := LookupResult{}
+			if cur != nil && cur.key == r.key {
+				res = LookupResult{Found: true, DTuple: cur.it.T, DAnnot: cur.it.A}
+			}
+			if it, keep := combine(r.it, res); keep {
+				out.Parts[s] = append(out.Parts[s], it)
+			}
+		}
+	}
+	return out
+}
+
+// SemiJoin returns the items of x whose key projection matches at least one
+// item of d (R1 ⋉ R2 in the paper's Section 2). d may contain duplicates;
+// it is first reduced to one entry per key.
+func SemiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr, salt uint64) *mpc.Dist {
+	dir := DistinctByKey(d, dKey)
+	return Lookup(x, xKey, dir, dKey, x.Schema,
+		func(it mpc.Item, r LookupResult) (mpc.Item, bool) {
+			return it, r.Found
+		})
+}
+
+// AntiJoin returns the items of x with no matching key in d.
+func AntiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr, salt uint64) *mpc.Dist {
+	dir := DistinctByKey(d, dKey)
+	return Lookup(x, xKey, dir, dKey, x.Schema,
+		func(it mpc.Item, r LookupResult) (mpc.Item, bool) {
+			return it, !r.Found
+		})
+}
+
+// AttachAnnot rewrites each x item's annotation by combining it with the
+// annotation of the matching d entry via ring.Mul; items without a match
+// are dropped when dropMissing, kept unchanged otherwise. This is the
+// annotation-merge step (line 9) of LinearAggroYannakakis.
+func AttachAnnot(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr,
+	ring relation.Semiring, dropMissing bool) *mpc.Dist {
+	return Lookup(x, xKey, d, dKey, x.Schema,
+		func(it mpc.Item, r LookupResult) (mpc.Item, bool) {
+			if !r.Found {
+				return it, !dropMissing
+			}
+			return mpc.Item{T: it.T, A: ring.Mul(it.A, r.DAnnot)}, true
+		})
+}
+
+// DistinctByKey reduces d to one item per distinct key projection,
+// sort-based and skew-proof. The kept item is the first in sort order; its
+// annotation is NOT combined (use SumByKey for that).
+func DistinctByKey(d *mpc.Dist, keyAttrs []relation.Attr) *mpc.Dist {
+	pos := d.Positions(keyAttrs)
+	schema := relation.NewSchema(keyAttrs...)
+	// Local dedup first (combiner): at most one record per (server, key).
+	recs := make([]rec, 0, d.Size())
+	for _, part := range d.Parts {
+		seen := make(map[string]bool)
+		for _, it := range part {
+			k := relation.KeyAt(it.T, pos)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			proj := make(relation.Tuple, len(pos))
+			for i, p := range pos {
+				proj[i] = it.T[p]
+			}
+			recs = append(recs, rec{key: k, it: mpc.Item{T: proj, A: it.A}})
+		}
+	}
+	chunks := sortAndChop(d.C, recs)
+	// Cross-chunk dedup: each server drops its first run if the previous
+	// chunk ends with the same key (boundary info via coordinator).
+	chargeCoordinatorExchange(d.C)
+	out := mpc.NewDist(d.C, schema)
+	prevLast := ""
+	havePrev := false
+	for s, chunk := range chunks {
+		for _, r := range chunk {
+			if havePrev && r.key == prevLast {
+				continue
+			}
+			out.Parts[s] = append(out.Parts[s], r.it)
+			prevLast, havePrev = r.key, true
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package primitives
+
+import (
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// MultiNumbering assigns, within every key group, consecutive numbers
+// 1, 2, 3, … to the items sharing that key (the paper's multi-numbering
+// primitive [18]). The result has the input schema plus numberAttr appended.
+//
+// Sort-based: items are sorted by key and chopped into p chunks, each chunk
+// numbers locally, and the offset of a key that spans a chunk boundary is
+// resolved through one coordinator exchange (a key spans only consecutive
+// chunks, so per-server boundary state is O(1)).
+func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.Attr) *mpc.Dist {
+	pos := d.Positions(keyAttrs)
+	outSchema := append(append(relation.Schema{}, d.Schema...), numberAttr)
+
+	recs := make([]rec, 0, d.Size())
+	for _, part := range d.Parts {
+		for _, it := range part {
+			recs = append(recs, rec{key: relation.KeyAt(it.T, pos), it: it})
+		}
+	}
+	chunks := sortAndChop(d.C, recs)
+
+	// offsets[s] = number of items with the same key as chunk s's first
+	// record that appear in earlier chunks. Computed by the coordinator from
+	// per-chunk (firstKey, lastKey, suffixCount) summaries: O(1) per server.
+	offsets := make([]int64, d.C.P)
+	runKey, runCount := "", int64(0)
+	haveRun := false
+	for s, chunk := range chunks {
+		if len(chunk) == 0 {
+			continue
+		}
+		if haveRun && chunk[0].key == runKey {
+			offsets[s] = runCount
+		}
+		// Update the running suffix count for the chunk's last key.
+		lastKey := chunk[len(chunk)-1].key
+		var suffix int64
+		for i := len(chunk) - 1; i >= 0 && chunk[i].key == lastKey; i-- {
+			suffix++
+		}
+		if haveRun && lastKey == runKey && chunk[0].key == runKey && allSameKey(chunk) {
+			runCount += suffix
+		} else {
+			runKey, runCount = lastKey, suffix
+		}
+		haveRun = true
+	}
+	chargeCoordinatorExchange(d.C)
+
+	out := mpc.NewDist(d.C, outSchema)
+	for s, chunk := range chunks {
+		var curKey string
+		var n int64
+		for i, r := range chunk {
+			if i == 0 {
+				curKey, n = r.key, offsets[s]
+			} else if r.key != curKey {
+				curKey, n = r.key, 0
+			}
+			n++
+			t := make(relation.Tuple, len(r.it.T)+1)
+			copy(t, r.it.T)
+			t[len(r.it.T)] = relation.Value(n)
+			out.Parts[s] = append(out.Parts[s], mpc.Item{T: t, A: r.it.A})
+		}
+	}
+	return out
+}
+
+func allSameKey(chunk []rec) bool {
+	for i := 1; i < len(chunk); i++ {
+		if chunk[i].key != chunk[0].key {
+			return false
+		}
+	}
+	return true
+}

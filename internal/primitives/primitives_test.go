@@ -1,0 +1,394 @@
+package primitives
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// buildDist returns a distributed relation over schema (1,2) with n tuples
+// whose key attribute 1 is drawn from [0, keys) by gen.
+func buildDist(p, n, keys int, seed int64) (*mpc.Cluster, *mpc.Dist) {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New("R", relation.NewSchema(1, 2))
+	for i := 0; i < n; i++ {
+		r.Add(relation.Value(rng.Intn(keys)), relation.Value(i))
+	}
+	c := mpc.NewCluster(p)
+	return c, mpc.FromRelation(c, r)
+}
+
+func TestSumByKeyMatchesNaive(t *testing.T) {
+	c, d := buildDist(8, 500, 37, 1)
+	got := SumByKey(d, []relation.Attr{1}, relation.CountRing, 7)
+	want := map[relation.Value]int64{}
+	for _, it := range d.All() {
+		want[it.T[0]] += it.A
+	}
+	check := map[relation.Value]int64{}
+	for _, it := range got.All() {
+		if _, dup := check[it.T[0]]; dup {
+			t.Fatalf("duplicate key %v in SumByKey output", it.T[0])
+		}
+		check[it.T[0]] = it.A
+	}
+	if len(check) != len(want) {
+		t.Fatalf("key count %d != %d", len(check), len(want))
+	}
+	for k, v := range want {
+		if check[k] != v {
+			t.Errorf("key %v: got %d want %d", k, check[k], v)
+		}
+	}
+	if c.MaxLoad() > 500 {
+		t.Errorf("absurd load %d", c.MaxLoad())
+	}
+}
+
+func TestSumByKeySkewStaysLinear(t *testing.T) {
+	// One key holds all n tuples; the combiner must keep the load ~n/p,
+	// not n.
+	p, n := 8, 800
+	r := relation.New("R", relation.NewSchema(1, 2))
+	for i := 0; i < n; i++ {
+		r.Add(5, relation.Value(i))
+	}
+	c := mpc.NewCluster(p)
+	d := mpc.FromRelation(c, r)
+	base := c.MaxLoad() // n/p from input
+	got := SumByKey(d, []relation.Attr{1}, relation.CountRing, 3)
+	if got.Size() != 1 || got.All()[0].A != int64(n) {
+		t.Fatalf("SumByKey wrong on skew: %v", got.All())
+	}
+	if c.MaxLoad() > 2*base+2*p {
+		t.Errorf("skewed SumByKey load %d exceeds linear bound (base %d)", c.MaxLoad(), base)
+	}
+}
+
+func TestCountByKeyIgnoresAnnotations(t *testing.T) {
+	c := mpc.NewCluster(4)
+	r := relation.New("R", relation.NewSchema(1))
+	r.AddAnnotated(100, 1)
+	r.AddAnnotated(200, 1)
+	d := mpc.FromRelation(c, r)
+	got := CountByKey(d, []relation.Attr{1}, 1)
+	if got.Size() != 1 || got.All()[0].A != 2 {
+		t.Errorf("CountByKey = %v", got.All())
+	}
+}
+
+func TestTotalSum(t *testing.T) {
+	c, d := buildDist(4, 100, 10, 2)
+	if got := TotalSum(d, relation.CountRing); got != 100 {
+		t.Errorf("TotalSum = %d, want 100", got)
+	}
+	if TotalCount(d) != 100 {
+		t.Error("TotalCount wrong")
+	}
+	_ = c
+}
+
+func TestLookupExactMatch(t *testing.T) {
+	c, x := buildDist(8, 300, 20, 3)
+	deg := CountByKey(x, []relation.Attr{1}, 11)
+	got := AttachAnnot(x, []relation.Attr{1}, deg, []relation.Attr{1}, relation.CountRing, false)
+	if got.Size() != 300 {
+		t.Fatalf("AttachAnnot size = %d", got.Size())
+	}
+	want := map[relation.Value]int64{}
+	for _, it := range x.All() {
+		want[it.T[0]]++
+	}
+	for _, it := range got.All() {
+		if it.A != want[it.T[0]] {
+			t.Errorf("tuple %v annot %d, want %d", it.T, it.A, want[it.T[0]])
+		}
+	}
+	_ = c
+}
+
+func TestLookupMissingKeys(t *testing.T) {
+	c := mpc.NewCluster(4)
+	x := relation.New("X", relation.NewSchema(1))
+	for i := 0; i < 10; i++ {
+		x.Add(relation.Value(i))
+	}
+	dRel := relation.New("D", relation.NewSchema(1))
+	dRel.AddAnnotated(7, 3) // only key 3 present
+	dx := mpc.FromRelation(c, x)
+	dd := mpc.FromRelation(c, dRel)
+	kept := Lookup(dx, []relation.Attr{1}, dd, []relation.Attr{1}, dx.Schema,
+		func(it mpc.Item, r LookupResult) (mpc.Item, bool) {
+			return it, r.Found
+		})
+	if kept.Size() != 1 || kept.All()[0].T[0] != 3 {
+		t.Errorf("Lookup keep-found = %v", kept.All())
+	}
+}
+
+func TestLookupDuplicateDirectoryPanics(t *testing.T) {
+	c := mpc.NewCluster(2)
+	d := relation.New("D", relation.NewSchema(1))
+	d.Add(1)
+	d.Add(1)
+	dd := mpc.FromRelation(c, d)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate directory key did not panic")
+		}
+	}()
+	Lookup(dd, []relation.Attr{1}, dd, []relation.Attr{1}, dd.Schema,
+		func(it mpc.Item, r LookupResult) (mpc.Item, bool) { return it, true })
+}
+
+func TestSemiJoinAndAntiJoin(t *testing.T) {
+	c := mpc.NewCluster(4)
+	x := relation.New("X", relation.NewSchema(1, 2))
+	for i := 0; i < 20; i++ {
+		x.Add(relation.Value(i%5), relation.Value(i))
+	}
+	f := relation.New("F", relation.NewSchema(3))
+	f.Add(1)
+	f.Add(3)
+	f.Add(3) // duplicate: SemiJoin must dedup the filter side
+	dx := mpc.FromRelation(c, x)
+	df := mpc.FromRelation(c, f)
+	semi := SemiJoin(dx, []relation.Attr{1}, df, []relation.Attr{3}, 5)
+	anti := AntiJoin(dx, []relation.Attr{1}, df, []relation.Attr{3}, 5)
+	if semi.Size() != 8 {
+		t.Errorf("SemiJoin size = %d, want 8", semi.Size())
+	}
+	for _, it := range semi.All() {
+		if it.T[0] != 1 && it.T[0] != 3 {
+			t.Errorf("SemiJoin kept %v", it.T)
+		}
+	}
+	if anti.Size() != 12 {
+		t.Errorf("AntiJoin size = %d, want 12", anti.Size())
+	}
+	if semi.Size()+anti.Size() != dx.Size() {
+		t.Error("semi + anti must partition x")
+	}
+}
+
+func TestLookupSkewProof(t *testing.T) {
+	// All x items share one key; a hash-based lookup would put the whole
+	// relation on one server, the sort-based one must stay ~n/p.
+	p, n := 8, 800
+	c := mpc.NewCluster(p)
+	x := relation.New("X", relation.NewSchema(1, 2))
+	for i := 0; i < n; i++ {
+		x.Add(9, relation.Value(i))
+	}
+	d := relation.New("D", relation.NewSchema(1))
+	d.AddAnnotated(1, 9)
+	dx := mpc.FromRelation(c, x)
+	dd := mpc.FromRelation(c, d)
+	base := c.MaxLoad()
+	got := AttachAnnot(dx, []relation.Attr{1}, dd, []relation.Attr{1}, relation.CountRing, true)
+	if got.Size() != n {
+		t.Fatalf("lost tuples: %d", got.Size())
+	}
+	if c.MaxLoad() > 2*base+2*p {
+		t.Errorf("skewed Lookup load %d exceeds linear bound (base %d)", c.MaxLoad(), base)
+	}
+}
+
+func TestDistinctByKey(t *testing.T) {
+	c, d := buildDist(8, 400, 13, 4)
+	got := DistinctByKey(d, []relation.Attr{1})
+	seen := map[relation.Value]bool{}
+	for _, it := range got.All() {
+		if seen[it.T[0]] {
+			t.Fatalf("duplicate key %v after DistinctByKey", it.T[0])
+		}
+		seen[it.T[0]] = true
+	}
+	want := map[relation.Value]bool{}
+	for _, it := range d.All() {
+		want[it.T[0]] = true
+	}
+	if len(seen) != len(want) {
+		t.Errorf("distinct keys %d, want %d", len(seen), len(want))
+	}
+	_ = c
+}
+
+func TestMultiNumbering(t *testing.T) {
+	c, d := buildDist(8, 300, 7, 5)
+	got := MultiNumbering(d, []relation.Attr{1}, 99)
+	if got.Size() != 300 {
+		t.Fatalf("size = %d", got.Size())
+	}
+	if !got.Schema.Equal(relation.NewSchema(1, 2, 99)) {
+		t.Fatalf("schema = %v", got.Schema)
+	}
+	// Numbers within each key must be exactly 1..count.
+	nums := map[relation.Value][]bool{}
+	counts := map[relation.Value]int{}
+	for _, it := range d.All() {
+		counts[it.T[0]]++
+	}
+	for k, n := range counts {
+		nums[k] = make([]bool, n+1)
+	}
+	for _, it := range got.All() {
+		k, n := it.T[0], int(it.T[2])
+		if n < 1 || n > counts[k] {
+			t.Fatalf("key %v number %d out of range 1..%d", k, n, counts[k])
+		}
+		if nums[k][n] {
+			t.Fatalf("key %v number %d assigned twice", k, n)
+		}
+		nums[k][n] = true
+	}
+	_ = c
+}
+
+func TestMultiNumberingSingleHeavyKey(t *testing.T) {
+	// One key spanning every chunk exercises the boundary-offset logic.
+	p, n := 8, 100
+	c := mpc.NewCluster(p)
+	r := relation.New("R", relation.NewSchema(1, 2))
+	for i := 0; i < n; i++ {
+		r.Add(4, relation.Value(i))
+	}
+	d := mpc.FromRelation(c, r)
+	got := MultiNumbering(d, []relation.Attr{1}, 99)
+	seen := make([]bool, n+1)
+	for _, it := range got.All() {
+		v := int(it.T[2])
+		if v < 1 || v > n || seen[v] {
+			t.Fatalf("bad numbering %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestParallelPackingInvariants(t *testing.T) {
+	const capacity = 100
+	rng := rand.New(rand.NewSource(6))
+	r := relation.New("U", relation.NewSchema(1))
+	var total int64
+	for i := 0; i < 200; i++ {
+		size := int64(1 + rng.Intn(capacity))
+		r.AddAnnotated(size, relation.Value(i))
+		total += size
+	}
+	c := mpc.NewCluster(8)
+	d := mpc.FromRelation(c, r)
+	packed, m := ParallelPacking(d, capacity)
+	if packed.Size() != 200 {
+		t.Fatalf("packing lost items")
+	}
+	sums := map[int64]int64{}
+	orig := map[relation.Value]int64{}
+	for i, tu := range r.Tuples {
+		orig[tu[0]] = r.Annots[i]
+	}
+	for _, it := range packed.All() {
+		g := it.A
+		if g < 0 || g >= int64(m) {
+			t.Fatalf("group id %d out of range [0,%d)", g, m)
+		}
+		sums[g] += orig[it.T[0]]
+	}
+	below := 0
+	for g, s := range sums {
+		if s > capacity {
+			t.Errorf("group %d sum %d > capacity", g, s)
+		}
+		if 2*s < capacity {
+			below++
+		}
+	}
+	if below > 1 {
+		t.Errorf("%d groups below capacity/2, want ≤ 1", below)
+	}
+	if int64(m) > 1+2*total/capacity {
+		t.Errorf("m = %d exceeds 1 + 2Σ/cap = %d", m, 1+2*total/capacity)
+	}
+}
+
+func TestParallelPackingRejectsBadSizes(t *testing.T) {
+	c := mpc.NewCluster(2)
+	r := relation.New("U", relation.NewSchema(1))
+	r.AddAnnotated(500, 1)
+	d := mpc.FromRelation(c, r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize item did not panic")
+		}
+	}()
+	ParallelPacking(d, 100)
+}
+
+func TestAllocateServers(t *testing.T) {
+	c := mpc.NewCluster(4)
+	dir := relation.New("dir", relation.NewSchema(1))
+	dir.AddAnnotated(3, 10)
+	dir.AddAnnotated(2, 20)
+	dir.AddAnnotated(5, 30)
+	d := mpc.FromRelation(c, dir)
+	ranges := AllocateServers(d)
+	if len(ranges) != 3 {
+		t.Fatalf("ranges = %v", ranges)
+	}
+	total := 0
+	used := map[int]bool{}
+	for _, r := range ranges {
+		if r.Width() < 1 {
+			t.Errorf("empty range %v", r)
+		}
+		total += r.Width()
+		for s := r.Lo; s < r.Hi; s++ {
+			if used[s] {
+				t.Errorf("server %d allocated twice", s)
+			}
+			used[s] = true
+		}
+	}
+	if total != 10 {
+		t.Errorf("total width = %d, want 10", total)
+	}
+}
+
+func TestAllocateServersDuplicatePanics(t *testing.T) {
+	c := mpc.NewCluster(2)
+	dir := relation.New("dir", relation.NewSchema(1))
+	dir.AddAnnotated(1, 7)
+	dir.AddAnnotated(1, 7)
+	d := mpc.FromRelation(c, dir)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate subproblem did not panic")
+		}
+	}()
+	AllocateServers(d)
+}
+
+func TestSortAndChopBalance(t *testing.T) {
+	c := mpc.NewCluster(8)
+	recs := make([]rec, 1000)
+	for i := range recs {
+		recs[i] = rec{key: relation.EncodeValues(relation.Value(i % 3))}
+	}
+	chunks := sortAndChop(c, recs)
+	for s, ch := range chunks {
+		if len(ch) > 125+1 {
+			t.Errorf("chunk %d has %d records", s, len(ch))
+		}
+	}
+	// Sortedness across chunk boundaries.
+	prev := ""
+	for _, ch := range chunks {
+		for _, r := range ch {
+			if r.key < prev {
+				t.Fatal("records not globally sorted")
+			}
+			prev = r.key
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package primitives implements the MPC building blocks of Section 2 of the
+// paper: sum-by-key, multi-numbering, multi-search (as sorted lookup),
+// semi-join, parallel-packing and server allocation. All run in O(1) rounds
+// with load O(IN/p + p), which is O(IN/p) under the model's standing
+// assumption IN ≥ p^{1+ε}.
+//
+// Skew-sensitive primitives (lookup, numbering, distinct) are built on a
+// simulated sample sort (Goodrich et al. [14]): records are globally sorted
+// by key and cut into p equal chunks, so a heavy key spreads over
+// consecutive servers instead of hashing onto one; per-chunk boundary
+// information then flows through a coordinator at O(p) load.
+package primitives
+
+import (
+	"sort"
+
+	"repro/internal/mpc"
+)
+
+// rec is a sortable record: a key, a tie-break tag (d-side records sort
+// before x-side records of the same key), and the carried item.
+type rec struct {
+	key string
+	tag uint8
+	it  mpc.Item
+}
+
+// sortAndChop globally sorts records by (key, tag) and distributes them into
+// p equal chunks, charging each server its chunk size in one round. This is
+// the simulator's stand-in for a one-round sample sort with linear load.
+func sortAndChop(c *mpc.Cluster, recs []rec) [][]rec {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].key != recs[j].key {
+			return recs[i].key < recs[j].key
+		}
+		return recs[i].tag < recs[j].tag
+	})
+	p := c.P
+	n := len(recs)
+	chunk := (n + p - 1) / p
+	if chunk == 0 {
+		chunk = 1
+	}
+	chunks := make([][]rec, p)
+	loads := make([]int, p)
+	for i := 0; i < n; i++ {
+		s := i / chunk
+		if s >= p {
+			s = p - 1
+		}
+		chunks[s] = append(chunks[s], recs[i])
+		loads[s]++
+	}
+	c.ChargeRound(loads)
+	return chunks
+}
+
+// chargeCoordinatorExchange charges the standard boundary-information
+// exchange: every server sends O(1) values to the coordinator (load p at
+// server 0), which replies with O(1) values to each server (load 1 each).
+func chargeCoordinatorExchange(c *mpc.Cluster) {
+	c.Charge(0, c.P)
+	ones := make([]int, c.P)
+	for i := range ones {
+		ones[i] = 1
+	}
+	c.ChargeRound(ones)
+}

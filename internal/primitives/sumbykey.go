@@ -1,0 +1,80 @@
+package primitives
+
+import (
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// SumByKey aggregates annotations by key: it returns one item per distinct
+// projection of d onto keyAttrs, annotated with the ring.Add-combination of
+// all matching items' annotations.
+//
+// Local pre-aggregation (a combiner) runs before the shuffle, so each server
+// sends at most one partial per local key and each receiver gets at most p
+// partials per assigned key: load O(IN/p + p · keys/p) = O(IN/p) — the skew
+// of the raw data never concentrates.
+func SumByKey(d *mpc.Dist, keyAttrs []relation.Attr, ring relation.Semiring, salt uint64) *mpc.Dist {
+	pos := d.Positions(keyAttrs)
+	schema := relation.NewSchema(keyAttrs...)
+	partials := localCombine(d, pos, schema, ring)
+	shuffled := partials.ShuffleByKey(partials.Positions(keyAttrs), salt)
+	return localCombine(shuffled, shuffled.Positions(keyAttrs), schema, ring)
+}
+
+// CountByKey returns the degree of every key: one item per distinct key,
+// annotated with the number of matching items (annotations ignored).
+func CountByKey(d *mpc.Dist, keyAttrs []relation.Attr, salt uint64) *mpc.Dist {
+	ones := d.MapLocal(d.Schema, func(_ int, it mpc.Item) []mpc.Item {
+		return []mpc.Item{{T: it.T, A: 1}}
+	})
+	return SumByKey(ones, keyAttrs, relation.CountRing, salt)
+}
+
+// localCombine aggregates per server: one output item per (server, key).
+func localCombine(d *mpc.Dist, pos []int, schema relation.Schema, ring relation.Semiring) *mpc.Dist {
+	out := mpc.NewDist(d.C, schema)
+	for s, part := range d.Parts {
+		agg := make(map[string]int64, len(part))
+		repr := make(map[string]relation.Tuple, len(part))
+		var order []string
+		for _, it := range part {
+			k := relation.KeyAt(it.T, pos)
+			if _, ok := agg[k]; !ok {
+				agg[k] = ring.Zero
+				proj := make(relation.Tuple, len(pos))
+				for i, p := range pos {
+					proj[i] = it.T[p]
+				}
+				repr[k] = proj
+				order = append(order, k)
+			}
+			agg[k] = ring.Add(agg[k], it.A)
+		}
+		for _, k := range order {
+			out.Parts[s] = append(out.Parts[s], mpc.Item{T: repr[k], A: agg[k]})
+		}
+	}
+	return out
+}
+
+// TotalSum combines all annotations into a single value via ring.Add,
+// charging the coordinator tree: each server one partial (load p at the
+// coordinator), then a broadcast of the single total (load 1 per server).
+// Every server then "knows" the value; the caller gets it directly.
+func TotalSum(d *mpc.Dist, ring relation.Semiring) int64 {
+	total := ring.Zero
+	for _, part := range d.Parts {
+		for _, it := range part {
+			total = ring.Add(total, it.A)
+		}
+	}
+	chargeCoordinatorExchange(d.C)
+	return total
+}
+
+// TotalCount returns the number of items, charged like TotalSum.
+func TotalCount(d *mpc.Dist) int64 {
+	n := int64(d.Size())
+	chargeCoordinatorExchange(d.C)
+	return n
+}

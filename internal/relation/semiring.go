@@ -1,0 +1,63 @@
+package relation
+
+// Semiring is a commutative semiring (R, Add, Mul, Zero, One) over int64
+// annotations, as used by join-aggregate queries (Section 6 of the paper).
+// Implementations must satisfy the semiring laws; see TestSemiringLaws.
+type Semiring struct {
+	Name string
+	Zero int64
+	One  int64
+	Add  func(a, b int64) int64
+	Mul  func(a, b int64) int64
+}
+
+// CountRing is (Z, +, ×, 0, 1): with all annotations 1 it computes
+// COUNT(*) group-bys, and with y = ∅ the output size |Q(R)|.
+var CountRing = Semiring{
+	Name: "count",
+	Zero: 0,
+	One:  1,
+	Add:  func(a, b int64) int64 { return a + b },
+	Mul:  func(a, b int64) int64 { return a * b },
+}
+
+// MaxPlusRing is the tropical (max, +) semiring: MAX aggregations over
+// additive scores.
+var MaxPlusRing = Semiring{
+	Name: "maxplus",
+	Zero: -1 << 62,
+	One:  0,
+	Add: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	},
+	Mul: func(a, b int64) int64 {
+		// Saturate at Zero (-inf) so Zero annihilates despite finite int64.
+		if a == -1<<62 || b == -1<<62 {
+			return -1 << 62
+		}
+		return a + b
+	},
+}
+
+// BoolRing is ({0,1}, OR, AND, 0, 1): set-semantics existence, i.e.
+// join-project queries.
+var BoolRing = Semiring{
+	Name: "bool",
+	Zero: 0,
+	One:  1,
+	Add: func(a, b int64) int64 {
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	},
+	Mul: func(a, b int64) int64 {
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	},
+}

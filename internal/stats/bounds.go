@@ -1,0 +1,116 @@
+// Package stats evaluates the paper's load formulas — upper bounds, lower
+// bounds and per-instance quantities — so experiments can print measured
+// load next to the bound it is supposed to track.
+package stats
+
+import "math"
+
+// Linear is the trivial floor IN/p (every algorithm starts at this load).
+func Linear(in, p int) float64 { return float64(in) / float64(p) }
+
+// Yannakakis is the MPC Yannakakis bound O(IN/p + OUT/p) [2,25].
+func Yannakakis(in int, out int64, p int) float64 {
+	return Linear(in, p) + float64(out)/float64(p)
+}
+
+// BinaryJoinBound is O(IN/p + √(OUT/p)) for a single binary join [8,18].
+func BinaryJoinBound(in int, out int64, p int) float64 {
+	return Linear(in, p) + math.Sqrt(float64(out)/float64(p))
+}
+
+// Acyclic is the paper's Theorem 7 bound O(IN/p + √(IN·OUT/p)).
+func Acyclic(in int, out int64, p int) float64 {
+	return Linear(in, p) + math.Sqrt(float64(in)*float64(out)/float64(p))
+}
+
+// RHierOutput is the paper's Theorem 4 output-optimal bound for
+// r-hierarchical joins: IN/p^{1/max(1,k*−1)} + (OUT/p)^{1/k*} with
+// k* = ⌈log_IN OUT⌉.
+func RHierOutput(in int, out int64, p int) float64 {
+	k := KStar(in, out)
+	d := k - 1
+	if d < 1 {
+		d = 1
+	}
+	return float64(in)/math.Pow(float64(p), 1/float64(d)) +
+		math.Pow(float64(out)/float64(p), 1/float64(k))
+}
+
+// KStar is ⌈log_IN OUT⌉, clamped to ≥ 1.
+func KStar(in int, out int64) int {
+	if in <= 1 || out <= 1 {
+		return 1
+	}
+	k := int(math.Ceil(math.Log(float64(out)) / math.Log(float64(in))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// RHierOutputSimple is Corollary 1's looser bound O(IN/p + √(OUT/p)).
+func RHierOutputSimple(in int, out int64, p int) float64 {
+	return Linear(in, p) + math.Sqrt(float64(out)/float64(p))
+}
+
+// Line3Lower is the paper's Theorem 6 lower bound for the line-3 join:
+// Ω(min{√(IN·OUT/(p·log IN)), IN/√p}), stated for OUT ≥ IN.
+func Line3Lower(in int, out int64, p int) float64 {
+	a := math.Sqrt(float64(in) * float64(out) / (float64(p) * math.Log(float64(in))))
+	b := float64(in) / math.Sqrt(float64(p))
+	return math.Min(a, b)
+}
+
+// WorstCaseLine is the worst-case optimal bound O(IN/√p) for the line-3
+// join [19,24], which takes over when OUT ≥ p·IN.
+func WorstCaseLine(in, p int) float64 {
+	return float64(in) / math.Sqrt(float64(p))
+}
+
+// TriangleLower is the paper's Theorem 11 output-sensitive lower bound
+// Ω̃(min{IN/p + OUT/p, IN/p^{2/3}}).
+func TriangleLower(in int, out int64, p int) float64 {
+	a := Linear(in, p) + float64(out)/(float64(p)*math.Log(float64(in)))
+	b := float64(in) / math.Pow(float64(p), 2.0/3.0)
+	return math.Min(a, b)
+}
+
+// TriangleWorstCase is the O(IN/p^{2/3}) bound of [24].
+func TriangleWorstCase(in, p int) float64 {
+	return float64(in) / math.Pow(float64(p), 2.0/3.0)
+}
+
+// CartesianLower is equation (1): max_S (Π_{i∈S} N_i / p)^{1/|S|}.
+func CartesianLower(sizes []int, p int) float64 {
+	best := 0.0
+	n := len(sizes)
+	for mask := 1; mask < 1<<n; mask++ {
+		prod, cnt := 1.0, 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				prod *= float64(sizes[i])
+				cnt++
+			}
+		}
+		v := math.Pow(prod/float64(p), 1/float64(cnt))
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PerServerOutputLower is the generic counting bound: p servers emitting
+// results assembled from m-tuple joins can produce at most p·L^m results,
+// so L ≥ (OUT/p)^{1/m}.
+func PerServerOutputLower(out int64, p, m int) float64 {
+	return math.Pow(float64(out)/float64(p), 1/float64(m))
+}
+
+// Ratio guards against division blowups in report tables.
+func Ratio(measured int, bound float64) float64 {
+	if bound <= 0 {
+		return math.Inf(1)
+	}
+	return float64(measured) / bound
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b)) }
+
+func TestLinear(t *testing.T) {
+	if Linear(1000, 10) != 100 {
+		t.Error("Linear wrong")
+	}
+}
+
+func TestYannakakisBound(t *testing.T) {
+	if got := Yannakakis(1000, 5000, 10); got != 600 {
+		t.Errorf("Yannakakis = %v", got)
+	}
+}
+
+func TestAcyclicBoundImprovesOnYannakakis(t *testing.T) {
+	// For OUT > p·IN the dominant terms give a ratio of
+	// (OUT/p) / √(IN·OUT/p) = √(OUT/(IN·p)).
+	in, p := 10000, 100
+	out := int64(40000000) // OUT = 4000·IN = 40·p·IN
+	y := Yannakakis(in, out, p)
+	a := Acyclic(in, out, p)
+	if a >= y {
+		t.Errorf("Acyclic %v should beat Yannakakis %v", a, y)
+	}
+	wantRatio := math.Sqrt(float64(out) / (float64(in) * float64(p)))
+	if !approx(y/a, wantRatio, 0.2) {
+		t.Errorf("improvement ratio %v, want ≈ %v", y/a, wantRatio)
+	}
+}
+
+func TestKStar(t *testing.T) {
+	cases := []struct {
+		in   int
+		out  int64
+		want int
+	}{
+		{100, 99, 1}, {100, 100, 1}, {100, 101, 2}, {100, 10000, 2}, {100, 10001, 3},
+		{1, 5, 1}, {100, 0, 1},
+	}
+	for _, c := range cases {
+		if got := KStar(c.in, c.out); got != c.want {
+			t.Errorf("KStar(%d,%d) = %d, want %d", c.in, c.out, got, c.want)
+		}
+	}
+}
+
+func TestRHierOutputMatchesCorollary1Regime(t *testing.T) {
+	// For IN < OUT ≤ IN², k* = 2 and the bound is IN/p + √(OUT/p).
+	in, p := 10000, 16
+	out := int64(1000000)
+	got := RHierOutput(in, out, p)
+	want := float64(in)/float64(p) + math.Sqrt(float64(out)/float64(p))
+	if !approx(got, want, 0.01) {
+		t.Errorf("RHierOutput = %v, want %v", got, want)
+	}
+}
+
+func TestLine3LowerCrossover(t *testing.T) {
+	// The √(IN·OUT/(p log IN)) branch holds until OUT ≈ p·IN·(log IN),
+	// after which IN/√p takes over.
+	in, p := 1<<16, 64
+	small := Line3Lower(in, int64(in), p)
+	big := Line3Lower(in, int64(in)*int64(p)*100, p)
+	if small >= big {
+		t.Errorf("lower bound should grow with OUT below the cap")
+	}
+	if big != WorstCaseLine(in, p) {
+		t.Errorf("large OUT should hit the IN/√p cap: %v vs %v", big, WorstCaseLine(in, p))
+	}
+}
+
+func TestTriangleLowerBranches(t *testing.T) {
+	in, p := 1<<16, 64
+	// Small OUT: the linear branch is active.
+	lo := TriangleLower(in, int64(in), p)
+	if lo >= TriangleWorstCase(in, p) {
+		t.Errorf("small-OUT triangle bound should be below worst case")
+	}
+	// Huge OUT: capped by IN/p^{2/3}.
+	hi := TriangleLower(in, int64(in)*1000, p)
+	if hi != TriangleWorstCase(in, p) {
+		t.Errorf("large-OUT triangle bound should equal worst case")
+	}
+}
+
+func TestCartesianLowerPaperExamples(t *testing.T) {
+	// Section 1.3: N1=N2=√IN, N3=IN with OUT = IN²: bound (OUT/p)^{1/3};
+	// N1=1, N2=N3=IN: bound (OUT/p)^{1/2} — the second is higher.
+	p := 64
+	in := 1 << 12
+	s := int(math.Sqrt(float64(in)))
+	flat := CartesianLower([]int{s, s, in}, p)
+	skew := CartesianLower([]int{1, in, in}, p)
+	if skew <= flat {
+		t.Errorf("skewed product (%v) must have a higher bound than flat (%v)", skew, flat)
+	}
+	wantSkew := math.Sqrt(float64(in) * float64(in) / float64(p))
+	if !approx(skew, wantSkew, 0.01) {
+		t.Errorf("skew bound %v, want %v", skew, wantSkew)
+	}
+}
+
+func TestPerServerOutputLower(t *testing.T) {
+	if got := PerServerOutputLower(1000000, 100, 2); !approx(got, 100, 0.01) {
+		t.Errorf("PerServerOutputLower = %v, want 100", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(100, 50) != 2 {
+		t.Error("Ratio wrong")
+	}
+	if !math.IsInf(Ratio(5, 0), 1) {
+		t.Error("Ratio by zero should be +Inf")
+	}
+}
