@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench experiments
+
+# ci is tier-1 plus race checking in one command.
+ci: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+experiments:
+	$(GO) run ./cmd/experiments

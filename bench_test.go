@@ -5,9 +5,11 @@
 // in a round; rounds = communication rounds), alongside the usual ns/op.
 //
 //	go test -bench=. -benchmem
+//	go test -bench=. -workers=1   # serial experiment scheduler
 package repro
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
@@ -16,11 +18,21 @@ import (
 	"repro/internal/harness"
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
+	"repro/internal/runtime"
 )
+
+// workersFlag caps the experiment scheduler's parallelism for the
+// harness-driven benchmarks (BenchmarkHarness_*) and the smoke tests;
+// tables and metrics are identical for any value. The per-algorithm
+// micro-benchmarks below run on a single cluster and ignore it.
+var workersFlag = flag.Int("workers", runtime.DefaultWorkers(),
+	"experiment scheduler parallelism (1 = serial)")
 
 // benchScale keeps per-iteration work moderate; the experiments command
 // runs the full DefaultScale.
-func benchScale() harness.Scale { return harness.Scale{P: 16, IN: 1 << 11, Seed: 2019} }
+func benchScale() harness.Scale {
+	return harness.Scale{P: 16, IN: 1 << 11, Seed: 2019, Workers: *workersFlag}
+}
 
 // measure runs one algorithm per iteration and reports load/round metrics.
 func measure(b *testing.B, in *core.Instance, p int,
@@ -315,6 +327,22 @@ func BenchmarkAblation_Tau(b *testing.B) {
 				core.Line3WithTau(c, in, tau, s.Seed, em)
 			})
 		})
+	}
+}
+
+// --- Harness scheduler: whole experiment matrices through the pool -----------
+
+func BenchmarkHarness_Fig3Matrix(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		_ = harness.Fig3JoinOrder(s)
+	}
+}
+
+func BenchmarkHarness_Fig4Matrix(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		_ = harness.Fig4Line3Sweep(s)
 	}
 }
 

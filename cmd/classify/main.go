@@ -25,7 +25,7 @@ func main() {
 	flag.Parse()
 
 	if *query == "" {
-		fmt.Print(harness.Fig1Classification().Render())
+		fmt.Print(harness.Fig1Classification(harness.DefaultScale()).Render())
 		fmt.Println()
 		fmt.Print(harness.Fig2Forests())
 		fmt.Println()

@@ -1,12 +1,12 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation as text tables (see DESIGN.md's per-experiment index and
-// EXPERIMENTS.md for recorded paper-vs-measured results).
+// evaluation as text tables (see DESIGN.md's per-experiment index).
 //
 // Usage:
 //
 //	experiments                 # run everything at the default scale
 //	experiments -run fig4       # one experiment
 //	experiments -p 128 -in 32768
+//	experiments -workers 1      # serial scheduler (same tables, slower)
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/runtime"
 )
 
 func main() {
@@ -23,6 +24,8 @@ func main() {
 	p := flag.Int("p", 0, "servers (0 = default scale)")
 	inSize := flag.Int("in", 0, "input size (0 = default scale)")
 	seed := flag.Uint64("seed", 0, "seed (0 = default scale)")
+	workers := flag.Int("workers", runtime.DefaultWorkers(),
+		"experiment scheduler parallelism (1 = serial; tables are identical for any value)")
 	flag.Parse()
 
 	s := harness.DefaultScale()
@@ -35,12 +38,13 @@ func main() {
 	if *seed > 0 {
 		s.Seed = *seed
 	}
+	s.Workers = *workers
 
 	sel := strings.ToLower(*which)
 	show := func(name string) bool { return sel == "all" || sel == name }
 
 	if show("fig1") {
-		fmt.Println(harness.Fig1Classification().Render())
+		fmt.Println(harness.Fig1Classification(s).Render())
 	}
 	if show("fig2") {
 		fmt.Println(harness.Fig2Forests())

@@ -13,7 +13,7 @@ import (
 
 // E2RHierClosedForm sweeps OUT on r-hierarchical instances and compares the
 // measured RHier load to Theorem 4's closed form
-// IN/p^{1/max(1,k*−1)} + (OUT/p)^{1/k*}.
+// IN/p^{1/max(1,k*−1)} + (OUT/p)^{1/k*}. One task per hub degree.
 func E2RHierClosedForm(s Scale) *Table {
 	t := &Table{
 		Title: "Theorem 4 — r-hierarchical output-optimal closed form",
@@ -21,53 +21,58 @@ func E2RHierClosedForm(s Scale) *Table {
 			s.P),
 		Header: []string{"hubDeg", "IN", "OUT", "k*", "L(RHier)", "Thm4 bound", "L/bound"},
 	}
-	for _, hub := range []int{16, 64, 256, 1024} {
+	hubs := []int{16, 64, 256, 1024}
+	s.addRows(t, len(hubs), func(task int) [][]any {
+		hub := hubs[task]
 		in := gen.TallFlatSkewed(hub, s.IN/4)
 		out := core.NaiveCount(in)
 		_, l, _ := run(s.P, in, out, func(c *mpc.Cluster, em mpc.Emitter) {
 			core.RHier(c, in, s.Seed, em)
 		})
 		b := stats.RHierOutput(in.IN(), out, s.P)
-		t.Add(hub, in.IN(), out, stats.KStar(in.IN(), out), l, b, stats.Ratio(l, b))
-	}
+		return [][]any{{hub, in.IN(), out, stats.KStar(in.IN(), out), l, b, stats.Ratio(l, b)}}
+	})
 	return t
 }
 
 // E3AcyclicVsYannakakis compares the Section 5.1 algorithm with Yannakakis
 // on longer chains, where the paper's √(OUT/IN)-factor gap should persist
-// beyond line-3.
+// beyond line-3. One task per query family.
 func E3AcyclicVsYannakakis(s Scale) *Table {
 	t := &Table{
 		Title:  "Section 5 — acyclic joins beyond line-3 (chain of 4, glued hard instances)",
 		Header: []string{"query", "IN", "OUT", "L(Yann)", "L(Acyclic §5.1)", "Yann/Acyclic"},
 	}
-	// A line-4 instance built by extending the Figure 3 hard instance with
-	// a fourth relation fanning out of D.
-	base := gen.YannakakisHard(s.IN/2, 4*s.IN)
-	r4 := baseFanOut(base, 4)
-	q := hypergraph.LineK(4)
-	in := core.NewInstance(q, base.Rels[0], base.Rels[1], base.Rels[2], r4)
-	want := core.NaiveCount(in)
-	_, ly, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-		core.Yannakakis(c, in, []int{0, 1, 2, 3}, s.Seed, em)
+	s.addRows(t, 2, func(task int) [][]any {
+		var name string
+		var in *core.Instance
+		var order []int
+		if task == 0 {
+			// A line-4 instance built by extending the Figure 3 hard
+			// instance with a fourth relation fanning out of D.
+			name = "line-4 hard"
+			base := gen.YannakakisHard(s.IN/2, 4*s.IN)
+			r4 := baseFanOut(base, 4)
+			q := hypergraph.LineK(4)
+			in = core.NewInstance(q, base.Rels[0], base.Rels[1], base.Rels[2], r4)
+			order = []int{0, 1, 2, 3}
+		} else {
+			// Domain size ≈ size/4 keeps the expected per-value fanout at
+			// 4, so OUT ≈ 64·size stays materializable by the oracle.
+			name = "line-4 uniform"
+			rng := mpc.NewChildRng(s.Seed, task)
+			in = gen.LineKUniform(rng, 4, s.IN/4, maxInt(s.IN/16, 2))
+		}
+		want := core.NaiveCount(in)
+		_, ly, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Yannakakis(c, in, order, s.Seed, em)
+		})
+		_, la, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.AcyclicJoin(c, in, s.Seed, em)
+		})
+		return [][]any{{name, in.IN(), want, ly, la,
+			fmt.Sprintf("%.1fx", float64(ly)/float64(maxInt(la, 1)))}}
 	})
-	_, la, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-		core.AcyclicJoin(c, in, s.Seed, em)
-	})
-	t.Add("line-4 hard", in.IN(), want, ly, la, fmt.Sprintf("%.1fx", float64(ly)/float64(maxInt(la, 1))))
-
-	rng := mpc.NewRng(s.Seed)
-	// Domain size ≈ size/4 keeps the expected per-value fanout at 4, so
-	// OUT ≈ 64·size stays materializable by the oracle.
-	u := gen.LineKUniform(rng, 4, s.IN/4, maxInt(s.IN/16, 2))
-	wantU := core.NaiveCount(u)
-	_, ly2, _ := run(s.P, u, wantU, func(c *mpc.Cluster, em mpc.Emitter) {
-		core.Yannakakis(c, u, nil, s.Seed, em)
-	})
-	_, la2, _ := run(s.P, u, wantU, func(c *mpc.Cluster, em mpc.Emitter) {
-		core.AcyclicJoin(c, u, s.Seed, em)
-	})
-	t.Add("line-4 uniform", u.IN(), wantU, ly2, la2, fmt.Sprintf("%.1fx", float64(ly2)/float64(maxInt(la2, 1))))
 	return t
 }
 
@@ -93,7 +98,9 @@ func baseFanOut(base *core.Instance, fan int) *relation.Relation {
 
 // E4Aggregate measures the Section 6 pipeline: COUNT(*) GROUP BY on a
 // line-3 whose full join is enormous but whose aggregate output is tiny —
-// LinearAggroYannakakis keeps the load linear.
+// LinearAggroYannakakis keeps the load linear. The aggregate and the
+// full-join baseline run as two parallel tasks over the shared (read-only)
+// instance.
 func E4Aggregate(s Scale) *Table {
 	t := &Table{
 		Title: "Section 6 — free-connex join-aggregate (COUNT(*) GROUP BY B,C on line-3)",
@@ -101,28 +108,38 @@ func E4Aggregate(s Scale) *Table {
 		Header: []string{"IN", "|Q(R)|", "OUT_y", "L(aggregate)", "L(full join §5.1)",
 			"linear IN/p", "L/linear"},
 	}
-	rng := mpc.NewRng(s.Seed)
+	rng := mpc.NewChildRng(s.Seed, 0)
 	in := gen.Line3Random(rng, s.IN, 32*s.IN)
-	fullOut := core.NaiveCount(in)
 	y := hypergraph.NewAttrSet(2, 3)
 
-	cAgg := mpc.NewCluster(s.P)
-	res := core.Aggregate(cAgg, in, y, s.Seed, nil)
-	outY := int64(res.Size())
-
-	_, lFull, _ := run(s.P, in, fullOut, func(c *mpc.Cluster, em mpc.Emitter) {
-		core.AcyclicJoin(c, in, s.Seed, em)
+	// res[0] = {OUT_y, L(aggregate)}, res[1] = {|Q(R)|, L(full join)}.
+	// Only the full-join task needs the naive oracle, so it runs there,
+	// overlapped with the aggregate run.
+	res := s.rows(2, func(task int) [][]any {
+		if task == 0 {
+			cAgg := mpc.NewCluster(s.P)
+			r := core.Aggregate(cAgg, in, y, s.Seed, nil)
+			return [][]any{{int64(r.Size()), cAgg.MaxLoad()}}
+		}
+		fullOut := core.NaiveCount(in)
+		_, lFull, _ := run(s.P, in, fullOut, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.AcyclicJoin(c, in, s.Seed, em)
+		})
+		return [][]any{{fullOut, lFull}}
 	})
+	outY, lAgg := res[0][0].(int64), res[0][1].(int)
+	fullOut, lFull := res[1][0].(int64), res[1][1].(int)
 	lin := stats.Linear(in.IN(), s.P)
-	t.Add(in.IN(), fullOut, outY, cAgg.MaxLoad(), lFull, lin,
-		stats.Ratio(cAgg.MaxLoad(), lin))
+	t.Add(in.IN(), fullOut, outY, lAgg, lFull, lin, stats.Ratio(lAgg, lin))
 	return t
 }
 
 // AblationTau sweeps the heavy/light threshold of the line-3 algorithm
 // around the paper's balance point τ* = √(OUT/IN) (equations 4 and 5).
+// The instance is built once; the sweep points run as parallel tasks over
+// the shared (read-only) instance.
 func AblationTau(s Scale) *Table {
-	rng := mpc.NewRng(s.Seed)
+	rng := mpc.NewChildRng(s.Seed, 0)
 	in := gen.Line3Random(rng, s.IN, 16*s.IN)
 	want := core.NaiveCount(in)
 	tauStar := isqrtInt(int(want) / maxInt(in.IN(), 1))
@@ -132,34 +149,33 @@ func AblationTau(s Scale) *Table {
 			s.P, in.IN(), want, tauStar),
 		Header: []string{"τ", "L(Line3)", "vs τ*"},
 	}
-	var lStar int
+	var taus []int
 	seen := map[int]bool{}
-	taus := []int{1, tauStar / 4, tauStar, tauStar * 4, tauStar * 16}
-	for _, tau := range taus {
+	for _, tau := range []int{1, tauStar / 4, tauStar, tauStar * 4, tauStar * 16} {
 		if tau < 1 || seen[tau] {
 			continue
 		}
 		seen[tau] = true
+		taus = append(taus, tau)
+	}
+	s.addRows(t, len(taus), func(task int) [][]any {
+		tau := taus[task]
 		_, l, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
 			core.Line3WithTau(c, in, int64(tau), s.Seed, em)
 		})
-		if tau == tauStar {
-			lStar = l
-		}
 		mark := ""
 		if tau == tauStar {
 			mark = "← τ*"
 		}
-		t.Add(tau, l, mark)
-	}
-	_ = lStar
+		return [][]any{{tau, l, mark}}
+	})
 	return t
 }
 
 // AblationGrid reruns the paper's Section 3.2 Case-2 example: the
 // interleaved Cartesian grid versus a two-step approach that materializes
 // the sub-join (represented by Yannakakis, which must shuffle the
-// intermediate result).
+// intermediate result). The two plans run as parallel tasks.
 func AblationGrid(s Scale) *Table {
 	p := s.P
 	n := s.IN
@@ -188,13 +204,17 @@ func AblationGrid(s Scale) *Table {
 			p, li, n/p*p/p+isqrtInt(n*p/p)),
 		Header: []string{"algorithm", "IN", "OUT", "L", "L/L_inst"},
 	}
-	_, lg, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-		core.RHier(c, in, s.Seed, em)
+	s.addRows(t, 2, func(task int) [][]any {
+		if task == 0 {
+			_, lg, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+				core.RHier(c, in, s.Seed, em)
+			})
+			return [][]any{{"RHier grid (§3.2)", in.IN(), want, lg, stats.Ratio(lg, float64(li))}}
+		}
+		_, ly, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Yannakakis(c, in, []int{1, 2, 0}, s.Seed, em)
+		})
+		return [][]any{{"two-step (materialize Q2)", in.IN(), want, ly, stats.Ratio(ly, float64(li))}}
 	})
-	t.Add("RHier grid (§3.2)", in.IN(), want, lg, stats.Ratio(lg, float64(li)))
-	_, ly, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-		core.Yannakakis(c, in, []int{1, 2, 0}, s.Seed, em)
-	})
-	t.Add("two-step (materialize Q2)", in.IN(), want, ly, stats.Ratio(ly, float64(li)))
 	return t
 }

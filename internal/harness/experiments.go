@@ -7,19 +7,49 @@ import (
 	"repro/internal/gen"
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
+	"repro/internal/runtime"
 	"repro/internal/stats"
 )
 
-// Scale controls experiment sizes; 1 is the default used by the committed
-// EXPERIMENTS.md numbers.
+// Scale controls experiment sizes; DefaultScale matches the recorded
+// tables (see DESIGN.md's per-experiment index).
 type Scale struct {
 	P    int // servers
 	IN   int // base input size
 	Seed uint64
+	// Workers caps the experiment scheduler's parallelism: 0 means one
+	// worker per CPU, 1 reproduces the serial harness. Tables are
+	// byte-identical for every value — tasks derive their RNG streams
+	// from (Seed, task index), never from shared state.
+	Workers int
 }
 
 // DefaultScale is used by the experiments command and benchmarks.
 func DefaultScale() Scale { return Scale{P: 64, IN: 1 << 14, Seed: 2019} }
+
+// pool returns the scheduler for this scale.
+func (s Scale) pool() *runtime.Pool { return runtime.NewPool(s.Workers) }
+
+// rows runs n independent tasks on s's scheduler and returns every task's
+// rows flattened in task order, so the assembled table does not depend on
+// the worker count. Tasks must not share mutable state; each builds its
+// instances from mpc.ChildSeed(s.Seed, task) when randomness is needed.
+func (s Scale) rows(n int, fn func(task int) [][]any) [][]any {
+	chunks := runtime.Map(s.pool(), n, fn)
+	var out [][]any
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
+	return out
+}
+
+// addRows runs n tasks on s's scheduler and appends their rows to t in
+// task order.
+func (s Scale) addRows(t *Table, n int, fn func(task int) [][]any) {
+	for _, r := range s.rows(n, fn) {
+		t.Add(r...)
+	}
+}
 
 // run executes an algorithm on a fresh cluster and reports (OUT, load,
 // rounds), verifying the count against the expected value when want ≥ 0.
@@ -36,19 +66,21 @@ func run(p int, in *core.Instance, want int64,
 
 // Fig1Classification regenerates Figure 1: the classification of the query
 // catalog, with witnesses for each strict inclusion.
-func Fig1Classification() *Table {
+func Fig1Classification(s Scale) *Table {
 	t := &Table{
 		Title:  "Figure 1 — classification of joins (tall-flat ⊂ hierarchical ⊂ r-hierarchical ⊂ acyclic)",
 		Header: []string{"query", "acyclic", "r-hier", "hier", "tall-flat", "class"},
 	}
-	for _, e := range hypergraph.Catalog() {
-		t.Add(e.Name,
+	cat := hypergraph.Catalog()
+	s.addRows(t, len(cat), func(task int) [][]any {
+		e := cat[task]
+		return [][]any{{e.Name,
 			e.Q.IsAcyclic(),
 			e.Q.IsAcyclic() && e.Q.IsRHierarchical(),
 			e.Q.IsHierarchical(),
 			e.Q.IsTallFlat(),
-			e.Q.Classify().String())
-	}
+			e.Q.Classify().String()}}
+	})
 	return t
 }
 
@@ -62,7 +94,9 @@ func Fig2Forests() string {
 
 // Fig3JoinOrder regenerates the Figure 3 / Section 4.1 experiment: join
 // order has asymptotic consequences in MPC, and on the doubled instance no
-// order is good while the Section 4.2 decomposition is.
+// order is good while the Section 4.2 decomposition is. One task per
+// instance: the naive oracle dominates the cost, so each instance is
+// generated and counted once and its four algorithms run inside the task.
 func Fig3JoinOrder(s Scale) *Table {
 	t := &Table{
 		Title: "Figure 3 — join order in the MPC Yannakakis algorithm (line-3)",
@@ -70,10 +104,34 @@ func Fig3JoinOrder(s Scale) *Table {
 			s.P),
 		Header: []string{"instance", "algorithm", "IN", "OUT", "load L", "L/(IN/p)", "bound tracked"},
 	}
-	for _, double := range []bool{false, true} {
+	type algo struct {
+		name  string
+		bound string
+		run   func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter)
+	}
+	algos := []algo{
+		{"Yannakakis (R1⋈R2)⋈R3", "OUT/p",
+			func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter) {
+				core.Yannakakis(c, in, []int{0, 1, 2}, s.Seed, em)
+			}},
+		{"Yannakakis R1⋈(R2⋈R3)", "IN/p+√(OUT/p) or OUT/p",
+			func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter) {
+				core.Yannakakis(c, in, []int{2, 1, 0}, s.Seed, em)
+			}},
+		{"Line3 (§4.2)", "IN/p+√(IN·OUT/p)",
+			func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter) {
+				core.Line3(c, in, s.Seed, em)
+			}},
+		{"AcyclicJoin (§5.1)", "IN/p+√(IN·OUT/p)",
+			func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter) {
+				core.AcyclicJoin(c, in, s.Seed, em)
+			}},
+	}
+	doubles := []bool{false, true}
+	s.addRows(t, len(doubles), func(task int) [][]any {
 		var in *core.Instance
 		name := "one-sided"
-		if double {
+		if doubles[task] {
 			in = gen.YannakakisHardDoubled(s.IN, 8*s.IN)
 			name = "doubled"
 		} else {
@@ -81,27 +139,16 @@ func Fig3JoinOrder(s Scale) *Table {
 		}
 		want := core.NaiveCount(in)
 		inSize := in.IN()
-		addRow := func(alg string, load int, bound string) {
-			t.Add(name, alg, inSize, want, load,
-				stats.Ratio(load, stats.Linear(inSize, s.P)), bound)
+		rows := make([][]any, 0, len(algos))
+		for _, a := range algos {
+			_, l, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
+				a.run(c, in, em)
+			})
+			rows = append(rows, []any{name, a.name, inSize, want, l,
+				stats.Ratio(l, stats.Linear(inSize, s.P)), a.bound})
 		}
-		_, l, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Yannakakis(c, in, []int{0, 1, 2}, s.Seed, em)
-		})
-		addRow("Yannakakis (R1⋈R2)⋈R3", l, "OUT/p")
-		_, l, _ = run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Yannakakis(c, in, []int{2, 1, 0}, s.Seed, em)
-		})
-		addRow("Yannakakis R1⋈(R2⋈R3)", l, "IN/p+√(OUT/p) or OUT/p")
-		_, l, _ = run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Line3(c, in, s.Seed, em)
-		})
-		addRow("Line3 (§4.2)", l, "IN/p+√(IN·OUT/p)")
-		_, l, _ = run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.AcyclicJoin(c, in, s.Seed, em)
-		})
-		addRow("AcyclicJoin (§5.1)", l, "IN/p+√(IN·OUT/p)")
-	}
+		return rows
+	})
 	return t
 }
 
@@ -109,7 +156,7 @@ func Fig3JoinOrder(s Scale) *Table {
 // function of OUT on the random lower-bound instance, against the paper's
 // lower bound and the Yannakakis baseline. The three regimes of Section 4.3
 // (OUT ≤ IN, IN < OUT ≤ p·IN, OUT > p·IN) are visible as the points where
-// the winner changes.
+// the winner changes. One task per sweep point, each on its own RNG stream.
 func Fig4Line3Sweep(s Scale) *Table {
 	t := &Table{
 		Title: "Figure 4 — line-3 join on the random hard instance, OUT sweep",
@@ -117,8 +164,10 @@ func Fig4Line3Sweep(s Scale) *Table {
 			s.P, s.IN),
 		Header: []string{"OUT/IN", "IN", "OUT", "L(Yann)", "L(Line3)", "L(Acyc §5)", "L(WC IN/√p)", "LB", "Line3/LB", "regime"},
 	}
-	rng := mpc.NewRng(s.Seed)
-	for _, f := range []int{0, 1, 4, 16, 64, 256} {
+	factors := []int{0, 1, 4, 16, 64, 256}
+	s.addRows(t, len(factors), func(task int) [][]any {
+		f := factors[task]
+		rng := mpc.NewChildRng(s.Seed, task)
 		out := s.IN * f
 		if f == 0 {
 			out = s.IN / 4
@@ -146,9 +195,9 @@ func Fig4Line3Sweep(s Scale) *Table {
 		case want > int64(inSize):
 			regime = "IN<OUT≤p·IN: √(IN·OUT/p)"
 		}
-		t.Add(fmt.Sprintf("%d", f), inSize, want, ly, l3, la, lw, lb,
-			stats.Ratio(l3, lb), regime)
-	}
+		return [][]any{{fmt.Sprintf("%d", f), inSize, want, ly, l3, la, lw, lb,
+			stats.Ratio(l3, lb), regime}}
+	})
 	return t
 }
 
@@ -184,8 +233,10 @@ func Fig6TriangleSweep(s Scale) *Table {
 			s.P, s.IN),
 		Header: []string{"OUT/IN", "IN", "OUT", "L(HyperCube△)", "LB(△)", "L/LB", "L(Line3 same IN,OUT)", "separation"},
 	}
-	rng := mpc.NewRng(s.Seed)
-	for _, f := range []int{1, 2, 4, 8, 16} {
+	factors := []int{1, 2, 4, 8, 16}
+	s.addRows(t, len(factors), func(task int) [][]any {
+		f := factors[task]
+		rng := mpc.NewChildRng(s.Seed, task)
 		in := gen.TriangleRandom(rng, s.IN, s.IN*f)
 		want := core.NaiveCount(in)
 		inSize := in.IN()
@@ -199,15 +250,15 @@ func Fig6TriangleSweep(s Scale) *Table {
 		_, l3, _ := run(s.P, l3in, l3want, func(c *mpc.Cluster, em mpc.Emitter) {
 			core.Line3(c, l3in, s.Seed, em)
 		})
-		t.Add(fmt.Sprintf("%d", f), inSize, want, lt, lb, stats.Ratio(lt, lb), l3,
-			fmt.Sprintf("%.1fx", float64(lt)/float64(maxInt(l3, 1))))
-	}
+		return [][]any{{fmt.Sprintf("%d", f), inSize, want, lt, lb, stats.Ratio(lt, lb), l3,
+			fmt.Sprintf("%.1fx", float64(lt)/float64(maxInt(l3, 1)))}}
+	})
 	return t
 }
 
 // Table1Loads regenerates Table 1 as measurements: each join class's
 // algorithms on a representative skewed instance, with the bound each is
-// supposed to track.
+// supposed to track. One task per join class.
 func Table1Loads(s Scale) *Table {
 	t := &Table{
 		Title: "Table 1 — measured load per join class (skewed representative instances)",
@@ -215,65 +266,89 @@ func Table1Loads(s Scale) *Table {
 			s.P),
 		Header: []string{"class", "instance", "algorithm", "IN", "OUT", "L", "bound", "L/bound"},
 	}
-	rng := mpc.NewRng(s.Seed)
 	p := s.P
-
-	// Tall-flat: keyed product with one hub.
-	hub := isqrtInt(4 * s.IN)
-	tf := gen.TallFlatSkewed(hub, s.IN/2)
-	tfOut := core.NaiveCount(tf)
-	tfRed := core.NaiveSemiJoinReduce(tf)
-	tfB := float64(tf.IN())/float64(p) + float64(core.LInstance(tfRed, p))
-	_, l, _ := run(p, tf, tfOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, tf, s.Seed, false, em) })
-	t.Add("tall-flat", "hub keyed product", "BinHC (1 round)", tf.IN(), tfOut, l, tfB, stats.Ratio(l, tfB))
-	_, l, _ = run(p, tf, tfOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, tf, s.Seed, em) })
-	t.Add("tall-flat", "hub keyed product", "RHier (§3.2)", tf.IN(), tfOut, l, tfB, stats.Ratio(l, tfB))
-
-	// r-hierarchical without dangling tuples.
-	rh := gen.RHierSkewed(rng, 4, isqrtInt(s.IN), s.IN/2)
-	rhOut := core.NaiveCount(rh)
-	rhB := float64(rh.IN())/float64(p) + float64(core.LInstance(core.NaiveSemiJoinReduce(rh), p))
-	_, l, _ = run(p, rh, rhOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rh, s.Seed, false, em) })
-	t.Add("r-hier (no dangling)", "hub star", "BinHC (1 round)", rh.IN(), rhOut, l, rhB, stats.Ratio(l, rhB))
-	_, l, _ = run(p, rh, rhOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, rh, s.Seed, em) })
-	t.Add("r-hier (no dangling)", "hub star", "RHier (§3.2)", rh.IN(), rhOut, l, rhB, stats.Ratio(l, rhB))
-
-	// Hierarchical with dangling tuples (the one-round barrier, [26]):
-	// a fake hub whose degree product looks like fakeDeg² but whose true
-	// output is zero — degree statistics cannot see it, a semi-join can.
-	rhd := gen.Q2FakeHub(s.IN/8, s.IN/2)
-	rhdOut := core.NaiveCount(rhd)
-	rhdB := float64(rhd.IN())/float64(p) + float64(core.LInstance(core.NaiveSemiJoinReduce(rhd), p))
-	_, l, _ = run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rhd, s.Seed, false, em) })
-	t.Add("hier (dangling)", "Q2 + fake hub", "BinHC (1 round)", rhd.IN(), rhdOut, l, rhdB, stats.Ratio(l, rhdB))
-	_, l, _ = run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rhd, s.Seed, true, em) })
-	t.Add("hier (dangling)", "Q2 + fake hub", "reduce+BinHC", rhd.IN(), rhdOut, l, rhdB, stats.Ratio(l, rhdB))
-	_, l, _ = run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, rhd, s.Seed, em) })
-	t.Add("hier (dangling)", "Q2 + fake hub", "RHier (§3.2)", rhd.IN(), rhdOut, l, rhdB, stats.Ratio(l, rhdB))
-
-	// Acyclic non-r-hierarchical: line-3 at OUT = 8·IN.
-	l3 := gen.Line3Random(rng, s.IN, 8*s.IN)
-	l3Out := core.NaiveCount(l3)
-	l3B := stats.Acyclic(l3.IN(), l3Out, p)
-	_, l, _ = run(p, l3, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.Yannakakis(c, l3, nil, s.Seed, em) })
-	t.Add("acyclic", "random line-3", "Yannakakis", l3.IN(), l3Out, l, stats.Yannakakis(l3.IN(), l3Out, p), stats.Ratio(l, stats.Yannakakis(l3.IN(), l3Out, p)))
-	_, l, _ = run(p, l3, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.Line3(c, l3, s.Seed, em) })
-	t.Add("acyclic", "random line-3", "Line3 (§4.2)", l3.IN(), l3Out, l, l3B, stats.Ratio(l, l3B))
-	_, l, _ = run(p, l3, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.AcyclicJoin(c, l3, s.Seed, em) })
-	t.Add("acyclic", "random line-3", "AcyclicJoin (§5.1)", l3.IN(), l3Out, l, l3B, stats.Ratio(l, l3B))
-
-	// Triangle.
-	tr := gen.TriangleRandom(rng, s.IN, 4*s.IN)
-	trOut := core.NaiveCount(tr)
-	trB := stats.TriangleWorstCase(tr.IN(), p)
-	_, l, _ = run(p, tr, trOut, func(c *mpc.Cluster, em mpc.Emitter) { core.Triangle(c, tr, s.Seed, em) })
-	t.Add("triangle (cyclic)", "random triangle", "HyperCube△ [24]", tr.IN(), trOut, l, trB, stats.Ratio(l, trB))
+	sections := []func(task int) [][]any{
+		// Tall-flat: keyed product with one hub.
+		func(task int) [][]any {
+			hub := isqrtInt(4 * s.IN)
+			tf := gen.TallFlatSkewed(hub, s.IN/2)
+			tfOut := core.NaiveCount(tf)
+			tfRed := core.NaiveSemiJoinReduce(tf)
+			tfB := float64(tf.IN())/float64(p) + float64(core.LInstance(tfRed, p))
+			_, l1, _ := run(p, tf, tfOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, tf, s.Seed, false, em) })
+			_, l2, _ := run(p, tf, tfOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, tf, s.Seed, em) })
+			return [][]any{
+				{"tall-flat", "hub keyed product", "BinHC (1 round)", tf.IN(), tfOut, l1, tfB, stats.Ratio(l1, tfB)},
+				{"tall-flat", "hub keyed product", "RHier (§3.2)", tf.IN(), tfOut, l2, tfB, stats.Ratio(l2, tfB)},
+			}
+		},
+		// r-hierarchical without dangling tuples.
+		func(task int) [][]any {
+			rng := mpc.NewChildRng(s.Seed, task)
+			rh := gen.RHierSkewed(rng, 4, isqrtInt(s.IN), s.IN/2)
+			rhOut := core.NaiveCount(rh)
+			rhB := float64(rh.IN())/float64(p) + float64(core.LInstance(core.NaiveSemiJoinReduce(rh), p))
+			_, l1, _ := run(p, rh, rhOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rh, s.Seed, false, em) })
+			_, l2, _ := run(p, rh, rhOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, rh, s.Seed, em) })
+			return [][]any{
+				{"r-hier (no dangling)", "hub star", "BinHC (1 round)", rh.IN(), rhOut, l1, rhB, stats.Ratio(l1, rhB)},
+				{"r-hier (no dangling)", "hub star", "RHier (§3.2)", rh.IN(), rhOut, l2, rhB, stats.Ratio(l2, rhB)},
+			}
+		},
+		// Hierarchical with dangling tuples (the one-round barrier, [26]):
+		// a fake hub whose degree product looks like fakeDeg² but whose true
+		// output is zero — degree statistics cannot see it, a semi-join can.
+		func(task int) [][]any {
+			rhd := gen.Q2FakeHub(s.IN/8, s.IN/2)
+			rhdOut := core.NaiveCount(rhd)
+			rhdB := float64(rhd.IN())/float64(p) + float64(core.LInstance(core.NaiveSemiJoinReduce(rhd), p))
+			_, l1, _ := run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rhd, s.Seed, false, em) })
+			_, l2, _ := run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rhd, s.Seed, true, em) })
+			_, l3, _ := run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, rhd, s.Seed, em) })
+			return [][]any{
+				{"hier (dangling)", "Q2 + fake hub", "BinHC (1 round)", rhd.IN(), rhdOut, l1, rhdB, stats.Ratio(l1, rhdB)},
+				{"hier (dangling)", "Q2 + fake hub", "reduce+BinHC", rhd.IN(), rhdOut, l2, rhdB, stats.Ratio(l2, rhdB)},
+				{"hier (dangling)", "Q2 + fake hub", "RHier (§3.2)", rhd.IN(), rhdOut, l3, rhdB, stats.Ratio(l3, rhdB)},
+			}
+		},
+		// Acyclic non-r-hierarchical: line-3 at OUT = 8·IN.
+		func(task int) [][]any {
+			rng := mpc.NewChildRng(s.Seed, task)
+			l3in := gen.Line3Random(rng, s.IN, 8*s.IN)
+			l3Out := core.NaiveCount(l3in)
+			l3B := stats.Acyclic(l3in.IN(), l3Out, p)
+			yB := stats.Yannakakis(l3in.IN(), l3Out, p)
+			_, l1, _ := run(p, l3in, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.Yannakakis(c, l3in, nil, s.Seed, em) })
+			_, l2, _ := run(p, l3in, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.Line3(c, l3in, s.Seed, em) })
+			_, l3l, _ := run(p, l3in, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.AcyclicJoin(c, l3in, s.Seed, em) })
+			return [][]any{
+				{"acyclic", "random line-3", "Yannakakis", l3in.IN(), l3Out, l1, yB, stats.Ratio(l1, yB)},
+				{"acyclic", "random line-3", "Line3 (§4.2)", l3in.IN(), l3Out, l2, l3B, stats.Ratio(l2, l3B)},
+				{"acyclic", "random line-3", "AcyclicJoin (§5.1)", l3in.IN(), l3Out, l3l, l3B, stats.Ratio(l3l, l3B)},
+			}
+		},
+		// Triangle.
+		func(task int) [][]any {
+			rng := mpc.NewChildRng(s.Seed, task)
+			tr := gen.TriangleRandom(rng, s.IN, 4*s.IN)
+			trOut := core.NaiveCount(tr)
+			trB := stats.TriangleWorstCase(tr.IN(), p)
+			_, l, _ := run(p, tr, trOut, func(c *mpc.Cluster, em mpc.Emitter) { core.Triangle(c, tr, s.Seed, em) })
+			return [][]any{
+				{"triangle (cyclic)", "random triangle", "HyperCube△ [24]", tr.IN(), trOut, l, trB, stats.Ratio(l, trB)},
+			}
+		},
+	}
+	s.addRows(t, len(sections), func(task int) [][]any {
+		return sections[task](task)
+	})
 	return t
 }
 
 // E5InstanceGap demonstrates Corollaries 2/3: an instance with
 // L_instance = O(IN/p) on which every algorithm must pay Ω̃(IN/√p) — the
 // impossibility of instance optimality beyond r-hierarchical joins.
+// One task per server count.
 func E5InstanceGap(s Scale) *Table {
 	t := &Table{
 		Title: "Corollary 2/3 — instance-optimality gap on line-3 (OUT = p·IN)",
@@ -281,8 +356,10 @@ func E5InstanceGap(s Scale) *Table {
 		Header: []string{"p", "IN", "OUT", "L_inst(eq.2)", "IN/√p", "L(Line3)", "L(Yann)",
 			"L(Line3)/L_inst"},
 	}
-	rng := mpc.NewRng(s.Seed)
-	for _, p := range []int{16, 64, 256} {
+	ps := []int{16, 64, 256}
+	s.addRows(t, len(ps), func(task int) [][]any {
+		p := ps[task]
+		rng := mpc.NewChildRng(s.Seed, task)
 		// OUT = p·IN grows with p; scale IN down so the oracle's full
 		// materialization stays bounded.
 		inSize := s.IN * 16 / p
@@ -296,9 +373,9 @@ func E5InstanceGap(s Scale) *Table {
 		_, ly, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
 			core.Yannakakis(c, in, nil, s.Seed, em)
 		})
-		t.Add(p, in.IN(), want, li, stats.WorstCaseLine(in.IN(), p), l3, ly,
-			stats.Ratio(l3, float64(li)))
-	}
+		return [][]any{{p, in.IN(), want, li, stats.WorstCaseLine(in.IN(), p), l3, ly,
+			stats.Ratio(l3, float64(li))}}
+	})
 	return t
 }
 

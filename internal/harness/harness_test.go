@@ -23,7 +23,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestFig1Classification(t *testing.T) {
-	tab := Fig1Classification()
+	tab := Fig1Classification(smallScale())
 	if len(tab.Rows) < 10 {
 		t.Fatalf("catalog rows = %d", len(tab.Rows))
 	}

@@ -16,37 +16,108 @@
 // of every dimension).
 package mpc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Cluster is a simulated MPC deployment of P servers. Round 0 is reserved
 // for the initial data distribution, so MaxLoad() ≥ IN/P as in the model.
+//
+// Receive counts for the open (latest) round are sharded: every recording
+// goroutine owns a Shard whose counters only it touches, and shards are
+// folded into the merged per-round table at round barriers (newRound and
+// every read). The coordinating goroutine — the one that opens rounds —
+// records through an implicit shard via receive/Charge/ChargeRound; worker
+// goroutines of a parallel inner loop must each obtain their own Shard and
+// finish before the coordinator closes the round.
 type Cluster struct {
-	P      int
-	rounds [][]int // rounds[r][s] = tuples received by server s in round r
+	P int
+
+	mu     sync.Mutex
+	rounds [][]int // merged counts: rounds[r][s] = tuples received by server s in round r
+	shards []*Shard
+	serial *Shard // the coordinator's shard
 }
+
+// Shard is one worker's receive counters for the cluster's open round.
+// Receive is lock-free because only the owning worker writes the counters;
+// the cluster folds and zeroes them at the next round barrier.
+type Shard struct {
+	counts []int
+}
+
+// Receive records n tuples received by server s in the open round.
+func (sh *Shard) Receive(s, n int) { sh.counts[s] += n }
 
 // NewCluster returns a cluster of p ≥ 1 servers.
 func NewCluster(p int) *Cluster {
 	if p < 1 {
 		panic(fmt.Sprintf("mpc: invalid server count %d", p))
 	}
-	return &Cluster{P: p, rounds: [][]int{make([]int, p)}}
+	c := &Cluster{P: p, rounds: [][]int{make([]int, p)}}
+	c.serial = c.Shard()
+	return c
 }
 
-// newRound starts a fresh communication round and returns its index.
+// Shard registers a per-worker counter set for the open round. Safe to call
+// concurrently; each worker goroutine must use its own Shard.
+func (c *Cluster) Shard() *Shard {
+	sh := &Shard{counts: make([]int, c.P)}
+	c.mu.Lock()
+	c.shards = append(c.shards, sh)
+	c.mu.Unlock()
+	return sh
+}
+
+// barrierLocked folds every shard's counters into the open round and zeroes
+// them. Callers hold c.mu; all worker goroutines must already be quiescent,
+// which is the round-barrier contract of the MPC model itself.
+func (c *Cluster) barrierLocked() {
+	cur := c.rounds[len(c.rounds)-1]
+	for _, sh := range c.shards {
+		for s, n := range sh.counts {
+			if n != 0 {
+				cur[s] += n
+				sh.counts[s] = 0
+			}
+		}
+	}
+}
+
+// barrier is barrierLocked for callers not holding the lock.
+func (c *Cluster) barrier() {
+	c.mu.Lock()
+	c.barrierLocked()
+	c.mu.Unlock()
+}
+
+// newRound closes the open round at a barrier, starts a fresh one, and
+// returns its index. Only the coordinating goroutine opens rounds.
 func (c *Cluster) newRound() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.barrierLocked()
 	c.rounds = append(c.rounds, make([]int, c.P))
 	return len(c.rounds) - 1
 }
 
-// receive records n tuples received by server s in round r.
+// receive records n tuples received by server s in round r on the
+// coordinator's shard. Coordinator-only; workers use their own Shard.
 func (c *Cluster) receive(r, s, n int) {
+	if r == len(c.rounds)-1 {
+		c.serial.counts[s] += n
+		return
+	}
+	// A closed round (only reachable through explicit replay in tests).
+	c.mu.Lock()
 	c.rounds[r][s] += n
+	c.mu.Unlock()
 }
 
 // input records n tuples placed on server s as part of the initial
 // distribution (round 0).
-func (c *Cluster) input(s, n int) { c.rounds[0][s] += n }
+func (c *Cluster) input(s, n int) { c.receive(0, s, n) }
 
 // Rounds returns the number of communication rounds so far (excluding the
 // initial distribution).
@@ -55,6 +126,7 @@ func (c *Cluster) Rounds() int { return len(c.rounds) - 1 }
 // MaxLoad returns the realized load L: the maximum number of tuples
 // received by any server in any round, including the initial distribution.
 func (c *Cluster) MaxLoad() int {
+	c.barrier()
 	max := 0
 	for _, row := range c.rounds {
 		for _, v := range row {
@@ -68,6 +140,7 @@ func (c *Cluster) MaxLoad() int {
 
 // RoundMax returns the largest per-server receive count of round r.
 func (c *Cluster) RoundMax(r int) int {
+	c.barrier()
 	max := 0
 	for _, v := range c.rounds[r] {
 		if v > max {
@@ -80,6 +153,7 @@ func (c *Cluster) RoundMax(r int) int {
 // TotalComm returns the total number of tuples communicated (all rounds,
 // all servers), excluding the initial distribution.
 func (c *Cluster) TotalComm() int {
+	c.barrier()
 	sum := 0
 	for r := 1; r < len(c.rounds); r++ {
 		for _, v := range c.rounds[r] {

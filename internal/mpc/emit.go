@@ -1,6 +1,8 @@
 package mpc
 
 import (
+	"sync"
+
 	"repro/internal/relation"
 )
 
@@ -27,6 +29,16 @@ func NewCountEmitter(ring relation.Semiring) *CountEmitter {
 func (e *CountEmitter) Emit(_ int, _ relation.Tuple, annot int64) {
 	e.N++
 	e.AnnotSum = e.ring.Add(e.AnnotSum, annot)
+}
+
+// Merge folds the counts of per-worker counters into e. The parallel
+// pattern mirrors the cluster's shards: give every worker its own
+// CountEmitter over the same ring, then Merge them at the join point.
+func (e *CountEmitter) Merge(workers ...*CountEmitter) {
+	for _, w := range workers {
+		e.N += w.N
+		e.AnnotSum = e.ring.Add(e.AnnotSum, w.AnnotSum)
+	}
 }
 
 // CollectEmitter materializes every result into a relation; test use only.
@@ -63,6 +75,34 @@ func (e *PerServerCounter) Emit(server int, _ relation.Tuple, _ int64) {
 	if server >= 0 && server < len(e.Counts) {
 		e.Counts[server]++
 	}
+}
+
+// Merge adds per-worker counters into e; the slices must be equal length.
+func (e *PerServerCounter) Merge(workers ...*PerServerCounter) {
+	for _, w := range workers {
+		for s, n := range w.Counts {
+			e.Counts[s] += n
+		}
+	}
+}
+
+// SyncEmitter serializes emissions with a mutex, making any Emitter —
+// in particular materializing ones like CollectEmitter — safe for
+// concurrent emitters. Counting emitters should prefer per-worker
+// emitters merged at the barrier, which stay lock-free on the hot path.
+type SyncEmitter struct {
+	mu    sync.Mutex
+	Inner Emitter
+}
+
+// Synchronized wraps e for concurrent use.
+func Synchronized(e Emitter) *SyncEmitter { return &SyncEmitter{Inner: e} }
+
+// Emit implements Emitter.
+func (e *SyncEmitter) Emit(server int, t relation.Tuple, annot int64) {
+	e.mu.Lock()
+	e.Inner.Emit(server, t, annot)
+	e.mu.Unlock()
 }
 
 // MultiEmitter fans one emission out to several emitters.

@@ -42,6 +42,22 @@ func (r *Rng) Perm(n int) []int {
 	return p
 }
 
+// ChildSeed derives an independent stream seed for a task from a root seed.
+// Child streams depend only on (seed, task) — never on shared RNG state —
+// so a task produces the same instance whether the experiment matrix runs
+// on one worker or many, and in any order.
+func ChildSeed(seed uint64, task int) uint64 {
+	z := seed ^ (uint64(task)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewChildRng returns a generator on task's independent stream of seed.
+func NewChildRng(seed uint64, task int) *Rng {
+	return NewRng(ChildSeed(seed, task))
+}
+
 // Hash64 mixes a byte string and a salt into 64 bits (FNV-1a core with a
 // splitmix finalizer). Used for key routing; deterministic across runs.
 func Hash64(key string, salt uint64) uint64 {

@@ -1,0 +1,108 @@
+// Package runtime schedules independent simulator tasks across OS threads.
+//
+// The experiment harness is a matrix of independent cells: (catalog entry,
+// skew, fanout, server count, algorithm). Each cell builds its own instance
+// from a deterministic child seed and runs on its own mpc.Cluster, so cells
+// never share mutable state and can execute in any order on any number of
+// workers. The Pool shards that matrix over a fixed worker count; results
+// are collected by task index, which makes the output of a parallel run
+// byte-identical to a serial one.
+package runtime
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool executes batches of independent tasks on a fixed number of workers.
+// The zero value is not useful; use NewPool.
+type Pool struct {
+	workers int
+}
+
+// DefaultWorkers is the worker count used when none is requested: one per
+// logical CPU, the "as fast as the hardware allows" setting.
+func DefaultWorkers() int { return stdruntime.NumCPU() }
+
+// NewPool returns a pool of the given width. workers ≤ 0 selects
+// DefaultWorkers(); workers == 1 reproduces serial execution exactly (tasks
+// run in index order on the calling goroutine, no goroutines spawned).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Each runs fn(task) for every task in [0, n), sharded across the pool's
+// workers. Tasks are claimed from a shared atomic counter, so uneven task
+// costs balance automatically. Each blocks until every task has finished.
+// A panicking task stops further claims (in-flight tasks drain) and the
+// first panic is re-raised on the caller with the failing task's index and
+// stack attached.
+func (p *Pool) Each(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							stop.Store(true)
+							panicMu.Lock()
+							if panicV == nil {
+								panicV = fmt.Sprintf("runtime: task %d panicked: %v\n%s",
+									i, r, debug.Stack())
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// Map runs fn over [0, n) on the pool and returns the results indexed by
+// task. The result order depends only on task indices, never on scheduling.
+func Map[T any](p *Pool, n int, fn func(task int) T) []T {
+	out := make([]T, n)
+	p.Each(n, func(i int) { out[i] = fn(i) })
+	return out
+}

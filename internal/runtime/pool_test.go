@@ -1,0 +1,66 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, w := range []int{1, 2, 7, 64} {
+		got := Map(NewPool(w), len(want), func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEachRunsEveryTaskOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	NewPool(8).Each(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestEachEmptyAndSingle(t *testing.T) {
+	NewPool(4).Each(0, func(int) { t.Fatal("task ran for n=0") })
+	ran := false
+	NewPool(4).Each(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single task did not run")
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	if w := NewPool(0).Workers(); w != DefaultWorkers() {
+		t.Errorf("NewPool(0).Workers() = %d, want %d", w, DefaultWorkers())
+	}
+	if w := NewPool(-3).Workers(); w < 1 {
+		t.Errorf("NewPool(-3).Workers() = %d", w)
+	}
+	if w := NewPool(5).Workers(); w != 5 {
+		t.Errorf("NewPool(5).Workers() = %d, want 5", w)
+	}
+}
+
+func TestEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in task did not propagate")
+		}
+	}()
+	NewPool(4).Each(16, func(i int) {
+		if i == 7 {
+			panic("task failure")
+		}
+	})
+}

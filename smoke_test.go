@@ -1,0 +1,55 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/mpc"
+)
+
+// smokeScale is deliberately tiny: the point is that `go test ./...`
+// exercises the bench wiring end-to-end, not that it measures anything.
+func smokeScale() harness.Scale {
+	return harness.Scale{P: 8, IN: 1 << 8, Seed: 2019, Workers: *workersFlag}
+}
+
+// TestSmokeExperimentEndToEnd runs one full experiment — instance
+// generation, oracle verification, all four Figure 3 algorithms on the MPC
+// simulator, table rendering — through the parallel scheduler.
+func TestSmokeExperimentEndToEnd(t *testing.T) {
+	tab := harness.Fig3JoinOrder(smokeScale())
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Fig3 rows = %d, want 8", len(tab.Rows))
+	}
+	out := tab.Render()
+	for _, want := range []string{"one-sided", "doubled", "Line3 (§4.2)", "AcyclicJoin (§5.1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSmokeBenchWiring runs the measure() helper through testing.Benchmark
+// so the custom load/rounds/OUT metrics the benchmarks report are checked
+// by plain `go test`, not only under -bench.
+func TestSmokeBenchWiring(t *testing.T) {
+	s := smokeScale()
+	in := gen.YannakakisHard(s.IN, 8*s.IN)
+	res := testing.Benchmark(func(b *testing.B) {
+		measure(b, in, s.P, func(c *mpc.Cluster, em mpc.Emitter) {
+			core.Line3(c, in, s.Seed, em)
+		})
+	})
+	if res.Extra["load"] <= 0 {
+		t.Errorf("measure reported load = %v, want > 0", res.Extra["load"])
+	}
+	if res.Extra["rounds"] <= 0 {
+		t.Errorf("measure reported rounds = %v, want > 0", res.Extra["rounds"])
+	}
+	if res.Extra["OUT"] != float64(8*s.IN) {
+		t.Errorf("measure reported OUT = %v, want %d", res.Extra["OUT"], 8*s.IN)
+	}
+}
