@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench experiments
+.PHONY: ci fmt vet build test race smoke bench experiments
 
-# ci is tier-1 plus race checking in one command.
-ci: fmt vet build race
+# ci is tier-1 plus race checking plus a public-API smoke pass in one
+# command: if an example or CLI stops compiling or running, ci fails.
+ci: fmt vet build race smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -22,6 +23,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# smoke builds and runs every public entry point at a small scale: all four
+# examples, an auto-dispatched and an explicit joinrun, and both classify
+# modes. Keeps the engine API surface from silently rotting.
+smoke: build
+	$(GO) run ./examples/quickstart > /dev/null
+	$(GO) run ./examples/hierarchy > /dev/null
+	$(GO) run ./examples/orders > /dev/null
+	$(GO) run ./examples/aggregation > /dev/null
+	$(GO) run ./cmd/joinrun -algo auto -family random -in 4096 -out 16384 -p 16 > /dev/null
+	$(GO) run ./cmd/joinrun -algo rhier -family rhier -in 4096 -p 16 > /dev/null
+	$(GO) run ./cmd/classify > /dev/null
+	$(GO) run ./cmd/classify -q "1,2;2,3;3,4" > /dev/null
+	@echo "smoke: all examples and CLIs ran"
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/harness"
 	"repro/internal/hypergraph"
@@ -58,6 +59,49 @@ func BenchmarkFig1_Classify(b *testing.B) {
 		for _, e := range cat {
 			_ = e.Q.Classify()
 		}
+	}
+}
+
+// --- Engine: classification-driven dispatch over the whole catalog ----------
+
+// BenchmarkEngine_Dispatch measures routing alone: classify + registry walk
+// for every catalog query, no data touched.
+func BenchmarkEngine_Dispatch(b *testing.B) {
+	cat := hypergraph.Catalog()
+	for i := 0; i < b.N; i++ {
+		for _, e := range cat {
+			if _, err := engine.Auto(e.Q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngine_Auto runs every catalog query end-to-end through the
+// engine on a uniform instance: dispatch, execution on the simulator, and
+// the measured load/rounds/OUT as metrics. One sub-benchmark per catalog
+// entry, named by class and the algorithm Auto selects.
+func BenchmarkEngine_Auto(b *testing.B) {
+	s := benchScale()
+	for i, e := range hypergraph.Catalog() {
+		rng := mpc.NewChildRng(s.Seed, i)
+		in := gen.ForQuery(rng, e.Q, 256, 12)
+		a, err := engine.Auto(e.Q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%02d_%s/%s", i, e.Class, a.Name()), func(b *testing.B) {
+			var res engine.Result
+			for j := 0; j < b.N; j++ {
+				res, err = engine.Run(a, engine.Job{In: in, P: s.P, Seed: s.Seed})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Load), "load")
+			b.ReportMetric(float64(res.Rounds), "rounds")
+			b.ReportMetric(float64(res.OUT), "OUT")
+		})
 	}
 }
 

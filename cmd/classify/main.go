@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/hypergraph"
 	"repro/internal/relation"
@@ -70,6 +71,9 @@ func describe(q *hypergraph.Hypergraph) {
 	fmt.Printf("query: %v\n", q)
 	cls := q.Classify()
 	fmt.Printf("class: %s\n", cls)
+	if a, err := engine.Auto(q); err == nil {
+		fmt.Printf("engine dispatch: %s (bound %s)\n", a.Name(), engine.BoundOf(a))
+	}
 	if cls == hypergraph.Cyclic {
 		fmt.Println("join tree: none (cyclic)")
 		return

@@ -1,97 +1,87 @@
-// Command joinrun executes one algorithm on one generated instance and
-// reports the measured load, round count and output size next to the bound
-// the algorithm is supposed to track.
+// Command joinrun executes one engine algorithm on one generated instance
+// and reports the measured load, round count and output size next to the
+// bound the algorithm is supposed to track. Algorithms and instance
+// families both come from registries (internal/engine, internal/gen), so
+// the flag surface grows with them; -algo auto routes the query through the
+// engine's classification-driven dispatch.
 //
 // Usage:
 //
+//	joinrun                              # auto-dispatch on the random family
 //	joinrun -algo line3      -in 16384 -out 131072 -p 64
 //	joinrun -algo yannakakis -family hard   -in 16384 -out 131072
-//	joinrun -algo rhier      -family rhier  -in 16384
+//	joinrun -algo auto       -family rhier  -in 16384
 //	joinrun -algo triangle   -family triangle -in 16384 -out 65536
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/mpc"
 	"repro/internal/stats"
 )
 
 func main() {
-	algo := flag.String("algo", "acyclic", "algorithm: naive|yannakakis|line3|acyclic|rhier|binhc|triangle|count")
-	family := flag.String("family", "random", "instance family: random|hard|doubled|rhier|tallflat|triangle")
+	algo := flag.String("algo", "auto", "algorithm: auto|"+strings.Join(engine.Names(), "|"))
+	family := flag.String("family", "random", "instance family: "+strings.Join(gen.FamilyNames(), "|"))
 	inSize := flag.Int("in", 1<<14, "target input size IN")
 	outSize := flag.Int("out", 1<<17, "target output size OUT (family-dependent)")
 	p := flag.Int("p", 64, "number of servers")
 	seed := flag.Uint64("seed", 2019, "random seed")
 	flag.Parse()
 
-	rng := mpc.NewRng(*seed)
-	var in *core.Instance
-	switch *family {
-	case "random":
-		in = gen.Line3Random(rng, *inSize, *outSize)
-	case "hard":
-		in = gen.YannakakisHard(*inSize, *outSize)
-	case "doubled":
-		in = gen.YannakakisHardDoubled(*inSize, *outSize)
-	case "rhier":
-		in = gen.RHierSkewed(rng, 4, isqrt(*inSize), *inSize/2)
-	case "tallflat":
-		in = gen.TallFlatSkewed(isqrt(4**inSize), *inSize/2)
-	case "triangle":
-		in = gen.TriangleRandom(rng, *inSize, *outSize)
-	default:
-		fmt.Fprintf(os.Stderr, "joinrun: unknown family %q\n", *family)
+	in, err := gen.Build(*family, mpc.NewRng(*seed), *inSize, *outSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinrun:", err)
 		os.Exit(1)
 	}
 
-	want := core.NaiveCount(in)
-	c := mpc.NewCluster(*p)
-	em := mpc.NewCountEmitter(in.Ring)
-	switch *algo {
-	case "naive":
-		fmt.Printf("naive: IN=%d OUT=%d\n", in.IN(), want)
-		return
-	case "count":
-		got := core.CountOutput(c, in, *seed)
-		fmt.Printf("count: IN=%d OUT=%d load=%d rounds=%d (linear bound %.0f)\n",
-			in.IN(), got, c.MaxLoad(), c.Rounds(), stats.Linear(in.IN(), *p))
-		return
-	case "yannakakis":
-		core.Yannakakis(c, in, nil, *seed, em)
-	case "line3":
-		core.Line3(c, in, *seed, em)
-	case "acyclic":
-		core.AcyclicJoin(c, in, *seed, em)
-	case "rhier":
-		core.RHier(c, in, *seed, em)
-	case "binhc":
-		core.BinHC(c, in, *seed, false, em)
-	case "triangle":
-		core.Triangle(c, in, *seed, em)
-	default:
-		fmt.Fprintf(os.Stderr, "joinrun: unknown algorithm %q\n", *algo)
+	a, err := pick(*algo, in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinrun:", err)
 		os.Exit(1)
 	}
+	res, err := engine.Run(a, engine.Job{In: in, P: *p, Seed: *seed, CheckOracle: true})
 	status := "OK"
-	if em.N != want {
-		status = fmt.Sprintf("MISMATCH (oracle %d)", want)
+	switch {
+	case errors.Is(err, engine.ErrVerify):
+		status = fmt.Sprintf("MISMATCH (%v)", err)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "joinrun:", err)
+		os.Exit(1)
+	case !res.Verified:
+		status = "not oracle-checked"
 	}
-	fmt.Printf("%s on %s: IN=%d OUT=%d p=%d\n", *algo, *family, in.IN(), em.N, *p)
-	fmt.Printf("  load L = %d   rounds = %d   verification: %s\n", c.MaxLoad(), c.Rounds(), status)
+
+	out := res.OUT
+	if !engine.IsFullJoin(a) {
+		out = res.Annot
+	}
+	fmt.Printf("%s on %s (%s): IN=%d OUT=%d p=%d\n",
+		res.Algorithm, *family, in.Q.Classify(), in.IN(), out, *p)
+	fmt.Printf("  load L = %d   rounds = %d   bound tracked: %s   verification: %s\n",
+		res.Load, res.Rounds, res.Bound, status)
 	fmt.Printf("  bounds: linear IN/p = %.0f   Yannakakis IN/p+OUT/p = %.0f   paper IN/p+√(IN·OUT/p) = %.0f\n",
-		stats.Linear(in.IN(), *p), stats.Yannakakis(in.IN(), want, *p), stats.Acyclic(in.IN(), want, *p))
+		stats.Linear(in.IN(), *p), stats.Yannakakis(in.IN(), out, *p), stats.Acyclic(in.IN(), out, *p))
 }
 
-func isqrt(x int) int {
-	r := 1
-	for r*r < x {
-		r++
+// pick resolves -algo: explicit names via the registry, "auto" via the
+// engine's Figure 1 dispatch.
+func pick(name string, in *core.Instance) (engine.Algorithm, error) {
+	if name == "auto" {
+		return engine.Auto(in.Q)
 	}
-	return r
+	a, ok := engine.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (have auto, %s)",
+			name, strings.Join(engine.Names(), ", "))
+	}
+	return a, nil
 }

@@ -5,16 +5,17 @@
 // LinearAggroYannakakis eliminates the non-output attributes at linear
 // load, so the measured load is far below the full join's.
 //
-// The same pipeline also runs a MAX-score aggregation via the tropical
-// semiring, showing the semiring interface.
+// The same pipeline also runs a MAX-score aggregation by overriding the
+// job's semiring to the tropical ring — the engine re-rings the instance
+// without mutating it.
 package main
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hypergraph"
-	"repro/internal/mpc"
 	"repro/internal/relation"
 	"repro/internal/stats"
 )
@@ -39,8 +40,11 @@ func main() {
 	fullJoin := core.NaiveCount(in)
 
 	// COUNT(*) GROUP BY under the counting semiring.
-	c := mpc.NewCluster(p)
-	groups := core.Aggregate(c, in, y, 1, nil)
+	res, err := engine.RunNamed("aggregate", engine.Job{In: in, P: p, Seed: 1, GroupBy: y})
+	if err != nil {
+		panic(err)
+	}
+	groups := res.Dist
 	var total int64
 	for _, it := range groups.All() {
 		total += it.A
@@ -48,27 +52,31 @@ func main() {
 	fmt.Printf("full join |Q(R)| = %d; aggregate output = %d groups (sum of counts %d)\n",
 		fullJoin, groups.Size(), total)
 	fmt.Printf("aggregate load L = %d vs linear IN/p = %.0f vs full-join Yannakakis bound %.0f\n",
-		c.MaxLoad(), stats.Linear(in.IN(), p), stats.Yannakakis(in.IN(), fullJoin, p))
+		res.Load, stats.Linear(in.IN(), p), stats.Yannakakis(in.IN(), fullJoin, p))
 	if total != fullJoin {
 		panic("aggregate counts do not add up to the full join size")
 	}
 
 	// MAX aggregation: annotate lineitems with a score; the tropical
-	// semiring computes max over join results of summed scores.
+	// semiring computes max over join results of summed scores. Job.Ring
+	// overrides the instance's semiring for this run only.
 	r3s := relation.New("lineitem", relation.NewSchema(3, 4))
 	for i, t := range r3.Tuples {
 		r3s.AddAnnotated(int64(i%97), t[0], t[1])
 	}
 	inMax := core.NewInstance(hypergraph.Line3(), r1, r2, r3s)
-	inMax.Ring = relation.MaxPlusRing
-	c2 := mpc.NewCluster(p)
-	maxed := core.Aggregate(c2, inMax, y, 1, nil)
+	maxRes, err := engine.RunNamed("aggregate", engine.Job{
+		In: inMax, P: p, Seed: 1, GroupBy: y, Ring: &relation.MaxPlusRing,
+	})
+	if err != nil {
+		panic(err)
+	}
 	best := relation.MaxPlusRing.Zero
-	for _, it := range maxed.All() {
+	for _, it := range maxRes.Dist.All() {
 		if it.A > best {
 			best = it.A
 		}
 	}
 	fmt.Printf("\nMAX-score per group via (max,+) semiring: %d groups, best score %d, load %d\n",
-		maxed.Size(), best, c2.MaxLoad())
+		maxRes.Dist.Size(), best, maxRes.Load)
 }

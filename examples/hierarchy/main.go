@@ -6,15 +6,15 @@
 //
 // The example compares the paper's instance-optimal §3.2 algorithm against
 // one-round BinHC and Yannakakis, relative to the per-instance lower bound
-// L_instance(p, R) of equation (2).
+// L_instance(p, R) of equation (2) — all through the engine registry.
 package main
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hypergraph"
-	"repro/internal/mpc"
 	"repro/internal/relation"
 	"repro/internal/stats"
 )
@@ -25,7 +25,8 @@ func main() {
 		hypergraph.NewAttrSet(1, 2), // logins(U, D)
 		hypergraph.NewAttrSet(1, 3), // purchases(U, P)
 	)
-	fmt.Printf("users ⋈ logins ⋈ purchases is %s\n", q.Classify())
+	fmt.Printf("users ⋈ logins ⋈ purchases is %s; engine dispatch: %s\n",
+		q.Classify(), engine.Route(q))
 
 	users := relation.New("users", relation.NewSchema(1))
 	logins := relation.New("logins", relation.NewSchema(1, 2))
@@ -60,24 +61,18 @@ func main() {
 	bound := int64(in.IN()/p) + li
 	fmt.Printf("per-instance bound IN/p + L_instance(p,R) = %d + %d = %d\n\n", in.IN()/p, li, bound)
 
-	measure := func(name string, f func(c *mpc.Cluster, em mpc.Emitter)) {
-		c := mpc.NewCluster(p)
-		em := mpc.NewCountEmitter(in.Ring)
-		f(c, em)
-		if em.N != want {
-			panic(fmt.Sprintf("%s: wrong count %d", name, em.N))
+	measure := func(algo, label string) {
+		res, err := engine.RunNamed(algo, engine.Job{
+			In: in, P: p, Seed: 1, Want: want, CheckWant: true,
+		})
+		if err != nil {
+			panic(err)
 		}
 		fmt.Printf("%-28s load L = %6d  (%.1f× the instance bound)\n",
-			name, c.MaxLoad(), stats.Ratio(c.MaxLoad(), float64(bound)))
+			label, res.Load, stats.Ratio(res.Load, float64(bound)))
 	}
-	measure("RHier (§3.2, inst-optimal)", func(c *mpc.Cluster, em mpc.Emitter) {
-		core.RHier(c, in, 1, em)
-	})
-	measure("BinHC (one round)", func(c *mpc.Cluster, em mpc.Emitter) {
-		core.BinHC(c, in, 1, false, em)
-	})
-	measure("Yannakakis", func(c *mpc.Cluster, em mpc.Emitter) {
-		core.Yannakakis(c, in, nil, 1, em)
-	})
+	measure("rhier", "RHier (§3.2, inst-optimal)")
+	measure("binhc", "BinHC (one round)")
+	measure("yannakakis", "Yannakakis")
 	fmt.Printf("\n(Yannakakis must shuffle Θ(OUT) intermediate tuples: OUT/p = %d)\n", want/int64(p))
 }

@@ -4,15 +4,17 @@
 // skew that makes join order matter in MPC (Section 4.1).
 //
 // The example runs the MPC Yannakakis algorithm with both join orders and
-// the paper's Section 4.2 decomposition, and prints the measured loads.
+// the paper's Section 4.2 decomposition through the engine (Job.Order is
+// the only thing that changes between the first two runs), and prints the
+// measured loads.
 package main
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hypergraph"
-	"repro/internal/mpc"
 	"repro/internal/relation"
 	"repro/internal/stats"
 )
@@ -66,24 +68,18 @@ func main() {
 		load int
 	}
 	var results []result
-	measure := func(name string, f func(c *mpc.Cluster, em mpc.Emitter)) {
-		c := mpc.NewCluster(p)
-		em := mpc.NewCountEmitter(in.Ring)
-		f(c, em)
-		if em.N != want {
-			panic(fmt.Sprintf("%s produced %d results, want %d", name, em.N, want))
+	measure := func(algo, label string, order []int) {
+		res, err := engine.RunNamed(algo, engine.Job{
+			In: in, P: p, Seed: 1, Order: order, Want: want, CheckWant: true,
+		})
+		if err != nil {
+			panic(err)
 		}
-		results = append(results, result{name, c.MaxLoad()})
+		results = append(results, result{label, res.Load})
 	}
-	measure("Yannakakis (customer⋈orders) first", func(c *mpc.Cluster, em mpc.Emitter) {
-		core.Yannakakis(c, in, []int{0, 1, 2}, 1, em)
-	})
-	measure("Yannakakis (orders⋈lineitem) first", func(c *mpc.Cluster, em mpc.Emitter) {
-		core.Yannakakis(c, in, []int{2, 1, 0}, 1, em)
-	})
-	measure("paper §4.2 degree decomposition", func(c *mpc.Cluster, em mpc.Emitter) {
-		core.Line3(c, in, 1, em)
-	})
+	measure("yannakakis", "Yannakakis (customer⋈orders) first", []int{0, 1, 2})
+	measure("yannakakis", "Yannakakis (orders⋈lineitem) first", []int{2, 1, 0})
+	measure("line3", "paper §4.2 degree decomposition", nil)
 	for _, r := range results {
 		fmt.Printf("%-40s load L = %6d\n", r.name, r.load)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/hypergraph"
 	"repro/internal/mpc"
 	"repro/internal/relation"
 )
@@ -16,15 +17,25 @@ import (
 // the relation sizes. Implemented as the keyed multiway join with an empty
 // key, whose allocator chooses exactly those dimensions.
 func HyperCubeProduct(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
-	for i := range in.Q.Edges {
-		for j := i + 1; j < len(in.Q.Edges); j++ {
-			if !in.Q.Edges[i].Disjoint(in.Q.Edges[j]) {
-				panic("core: HyperCubeProduct needs pairwise disjoint relations")
-			}
-		}
+	if !IsProductQuery(in.Q) {
+		panic("core: HyperCubeProduct needs pairwise disjoint relations")
 	}
 	dists := LoadInstance(c, in)
 	res := MultiwayKeyedJoin(relation.Schema{}, dists, in.Ring, seed, nil)
 	EmitDist(res, in.OutputSchema(), em)
 	return res
+}
+
+// IsProductQuery reports whether q is a Cartesian product (pairwise
+// disjoint edges), the shape HyperCube is instance-optimal for. The one
+// canonical shape check, shared with the engine's dispatch.
+func IsProductQuery(q *hypergraph.Hypergraph) bool {
+	for i := range q.Edges {
+		for j := i + 1; j < len(q.Edges); j++ {
+			if !q.Edges[i].Disjoint(q.Edges[j]) {
+				return false
+			}
+		}
+	}
+	return true
 }

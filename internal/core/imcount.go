@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/hypergraph"
+	"repro/internal/primitives"
 	"repro/internal/relation"
 )
 
@@ -78,43 +79,10 @@ func LInstance(in *Instance, p int) int64 {
 			}
 		}
 		size := InMemoryJoinCount(sub)
-		v := iroot((size+int64(p)-1)/int64(p), len(sub))
+		v := primitives.Iroot((size+int64(p)-1)/int64(p), len(sub))
 		if v > best {
 			best = v
 		}
 	}
 	return best
-}
-
-// iroot returns ⌈x^(1/k)⌉ for x ≥ 0, k ≥ 1.
-func iroot(x int64, k int) int64 {
-	if x <= 0 {
-		return 0
-	}
-	if k == 1 {
-		return x
-	}
-	lo, hi := int64(1), x
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		if ipow(mid, k) >= x {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
-}
-
-// ipow returns min(b^k, 2^62) without overflow.
-func ipow(b int64, k int) int64 {
-	const cap62 = int64(1) << 62
-	out := int64(1)
-	for i := 0; i < k; i++ {
-		if b != 0 && out > cap62/b {
-			return cap62
-		}
-		out *= b
-	}
-	return out
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"repro/internal/hypergraph"
 	"repro/internal/mpc"
 	"repro/internal/primitives"
 	"repro/internal/relation"
@@ -70,20 +71,36 @@ func Line3WithTau(c *mpc.Cluster, in *Instance, tauOverride int64, seed uint64, 
 	return res
 }
 
-// line3Attrs validates the query shape and returns (B, C), the two join
-// attributes of the chain.
-func line3Attrs(in *Instance) (relation.Attr, relation.Attr) {
-	q := in.Q
+// IsLine3Query reports whether q has the line-3 chain shape
+// R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D) that Line3 handles: the one canonical shape
+// check, shared with the engine's dispatch.
+func IsLine3Query(q *hypergraph.Hypergraph) bool {
+	_, _, ok := line3Shape(q)
+	return ok
+}
+
+// line3Shape returns (B, C), the two join attributes of the chain, and
+// whether q has the line-3 shape at all.
+func line3Shape(q *hypergraph.Hypergraph) (b, c relation.Attr, ok bool) {
 	if len(q.Edges) != 3 {
-		panic("core: Line3 needs exactly 3 relations")
+		return 0, 0, false
 	}
-	b := q.Edges[0].Intersect(q.Edges[1])
-	cAttr := q.Edges[1].Intersect(q.Edges[2])
-	if len(b) != 1 || len(cAttr) != 1 || b[0] == cAttr[0] ||
+	bs := q.Edges[0].Intersect(q.Edges[1])
+	cs := q.Edges[1].Intersect(q.Edges[2])
+	if len(bs) != 1 || len(cs) != 1 || bs[0] == cs[0] ||
 		!q.Edges[0].Intersect(q.Edges[2]).Equal(nil) {
+		return 0, 0, false
+	}
+	return bs[0], cs[0], true
+}
+
+// line3Attrs is line3Shape with the panic the algorithms rely on.
+func line3Attrs(in *Instance) (relation.Attr, relation.Attr) {
+	b, c, ok := line3Shape(in.Q)
+	if !ok {
 		panic("core: Line3 query is not a line-3 chain")
 	}
-	return b[0], cAttr[0]
+	return b, c
 }
 
 // splitByDegree attaches deg's annotation (0 when missing) per key and

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
+	"repro/internal/primitives"
 	"repro/internal/relation"
 )
 
@@ -334,7 +335,7 @@ func serversFor(rels []*relation.Relation, fixed hypergraph.AttrSet, l int64, si
 				sub = append(sub, rels[i])
 			}
 		}
-		den := ipow(l, len(sub))
+		den := primitives.Ipow(l, len(sub))
 		need := (size(sub) + den - 1) / den
 		if need > best {
 			best = need

@@ -33,28 +33,6 @@ func TestInMemoryJoinCount(t *testing.T) {
 	}
 }
 
-func TestIRootAndIPow(t *testing.T) {
-	cases := []struct {
-		x    int64
-		k    int
-		want int64
-	}{
-		{0, 2, 0}, {1, 2, 1}, {8, 3, 2}, {9, 2, 3}, {10, 2, 4}, {100, 1, 100},
-		{26, 3, 3}, {27, 3, 3}, {28, 3, 4},
-	}
-	for _, c := range cases {
-		if got := iroot(c.x, c.k); got != c.want {
-			t.Errorf("iroot(%d,%d) = %d, want %d", c.x, c.k, got, c.want)
-		}
-	}
-	if ipow(10, 3) != 1000 {
-		t.Error("ipow wrong")
-	}
-	if ipow(1<<40, 3) != 1<<62 {
-		t.Error("ipow must saturate")
-	}
-}
-
 func TestLInstanceBinaryJoin(t *testing.T) {
 	// For a binary join, L_instance = max(|R1|/p, |R2|/p, sqrt(OUT/p))-ish.
 	r1 := relation.New("R1", relation.NewSchema(1, 2))

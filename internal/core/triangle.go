@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"repro/internal/hypergraph"
 	"repro/internal/mpc"
 	"repro/internal/relation"
 )
@@ -129,26 +130,32 @@ func Triangle(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Di
 	return res
 }
 
-// triangleAttrs validates the triangle shape and returns its attributes
-// (a, b, c) named so that edges are (b,c), (a,c), (a,b) in some order.
-func triangleAttrs(in *Instance) (relation.Attr, relation.Attr, relation.Attr) {
-	q := in.Q
-	if len(q.Edges) != 3 {
-		panic("core: Triangle needs exactly 3 relations")
-	}
-	attrs := q.Attrs()
-	if len(attrs) != 3 {
-		panic("core: Triangle needs exactly 3 attributes")
+// IsTriangleQuery reports whether q is the Section 7 triangle shape: three
+// binary edges over three attributes, pairwise sharing one attribute. The
+// one canonical shape check, shared with the engine's dispatch.
+func IsTriangleQuery(q *hypergraph.Hypergraph) bool {
+	if len(q.Edges) != 3 || len(q.Attrs()) != 3 {
+		return false
 	}
 	for i := 0; i < 3; i++ {
 		if len(q.Edges[i]) != 2 {
-			panic("core: Triangle edges must be binary")
+			return false
 		}
 		for j := i + 1; j < 3; j++ {
 			if len(q.Edges[i].Intersect(q.Edges[j])) != 1 {
-				panic("core: Triangle edges must pairwise share one attribute")
+				return false
 			}
 		}
 	}
+	return true
+}
+
+// triangleAttrs validates the triangle shape and returns its attributes
+// (a, b, c) named so that edges are (b,c), (a,c), (a,b) in some order.
+func triangleAttrs(in *Instance) (relation.Attr, relation.Attr, relation.Attr) {
+	if !IsTriangleQuery(in.Q) {
+		panic("core: Triangle needs 3 binary relations pairwise sharing one attribute")
+	}
+	attrs := in.Q.Attrs()
 	return attrs[0], attrs[1], attrs[2]
 }

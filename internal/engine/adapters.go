@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// adapter wraps one core algorithm as an Algorithm. Every algorithm name in
+// the repository lives here and only here: callers reach algorithms through
+// Lookup/Auto, never through per-algorithm switch statements.
+type adapter struct {
+	name  string
+	bound string
+	// fullJoin marks algorithms whose emissions are the full join result,
+	// i.e. whose OUT the naive oracle can verify. Scalar algorithms (count)
+	// and aggregates emit different cardinalities.
+	fullJoin bool
+	// oracle marks the verification oracle itself: CheckOracle against it
+	// would just run the same sequential join twice.
+	oracle  bool
+	applies func(q *hypergraph.Hypergraph) bool
+	run     func(job Job) (*mpc.Dist, error)
+}
+
+func (a *adapter) Name() string                          { return a.name }
+func (a *adapter) Bound() string                         { return a.bound }
+func (a *adapter) FullJoin() bool                        { return a.fullJoin }
+func (a *adapter) Oracle() bool                          { return a.oracle }
+func (a *adapter) Applies(q *hypergraph.Hypergraph) bool { return a.applies(q) }
+func (a *adapter) Run(job Job) (*mpc.Dist, error)        { return a.run(job) }
+
+// IsFullJoin reports whether a's emissions are the full join result (and
+// therefore oracle-verifiable). Algorithms outside this package that do not
+// implement the optional FullJoin method are assumed to be full joins.
+func IsFullJoin(a Algorithm) bool {
+	if f, ok := a.(interface{ FullJoin() bool }); ok {
+		return f.FullJoin()
+	}
+	return true
+}
+
+func isRHier(q *hypergraph.Hypergraph) bool {
+	return q.IsAcyclic() && q.IsRHierarchical()
+}
+
+func anyQuery(*hypergraph.Hypergraph) bool { return true }
+
+func init() {
+	Register(&adapter{
+		name: "yannakakis", bound: "IN/p + OUT/p", fullJoin: true,
+		applies: (*hypergraph.Hypergraph).IsAcyclic,
+		run: func(job Job) (*mpc.Dist, error) {
+			return core.Yannakakis(job.Cluster, job.In, job.Order, job.Seed, job.Emitter), nil
+		},
+	})
+	Register(&adapter{
+		name: "acyclic", bound: "IN/p + √(IN·OUT/p)", fullJoin: true,
+		applies: (*hypergraph.Hypergraph).IsAcyclic,
+		run: func(job Job) (*mpc.Dist, error) {
+			return core.AcyclicJoin(job.Cluster, job.In, job.Seed, job.Emitter), nil
+		},
+	})
+	Register(&adapter{
+		name: "line3", bound: "IN/p + √(IN·OUT/p)", fullJoin: true,
+		applies: core.IsLine3Query,
+		run: func(job Job) (*mpc.Dist, error) {
+			return core.Line3WithTau(job.Cluster, job.In, job.Tau, job.Seed, job.Emitter), nil
+		},
+	})
+	Register(&adapter{
+		name: "line3wc", bound: "IN/√p (worst-case)", fullJoin: true,
+		applies: core.IsLine3Query,
+		run: func(job Job) (*mpc.Dist, error) {
+			return core.Line3WorstCase(job.Cluster, job.In, job.Seed, job.Emitter), nil
+		},
+	})
+	Register(&adapter{
+		name: "rhier", bound: "IN/p + L_instance(p,R)", fullJoin: true,
+		applies: isRHier,
+		run: func(job Job) (*mpc.Dist, error) {
+			return core.RHier(job.Cluster, job.In, job.Seed, job.Emitter), nil
+		},
+	})
+	Register(&adapter{
+		name: "binhc", bound: "one round, degree shares", fullJoin: true,
+		applies: isRHier,
+		run: func(job Job) (*mpc.Dist, error) {
+			return core.BinHC(job.Cluster, job.In, job.Seed, job.Reduce, job.Emitter), nil
+		},
+	})
+	Register(&adapter{
+		name: "hypercube", bound: "L_cartesian(p,R) (eq. 1)", fullJoin: true,
+		applies: core.IsProductQuery,
+		run: func(job Job) (*mpc.Dist, error) {
+			return core.HyperCubeProduct(job.Cluster, job.In, job.Seed, job.Emitter), nil
+		},
+	})
+	Register(&adapter{
+		name: "triangle", bound: "IN/p^(2/3)", fullJoin: true,
+		applies: core.IsTriangleQuery,
+		run: func(job Job) (*mpc.Dist, error) {
+			return core.Triangle(job.Cluster, job.In, job.Seed, job.Emitter), nil
+		},
+	})
+	Register(&adapter{
+		name: "naive", bound: "sequential oracle", fullJoin: true, oracle: true,
+		applies: anyQuery,
+		run: func(job Job) (*mpc.Dist, error) {
+			rel := core.Naive(job.In)
+			for i, t := range rel.Tuples {
+				a := job.In.Ring.One
+				if i < len(rel.Annots) {
+					a = rel.Annots[i]
+				}
+				job.Emitter.Emit(0, t, a)
+			}
+			return nil, nil
+		},
+	})
+	Register(&adapter{
+		name: "count", bound: "IN/p (Cor. 4)", fullJoin: false,
+		applies: (*hypergraph.Hypergraph).IsAcyclic,
+		run: func(job Job) (*mpc.Dist, error) {
+			n := core.CountOutput(job.Cluster, job.In, job.Seed)
+			// One scalar emission: Result.Annot carries |Q(R)|.
+			job.Emitter.Emit(0, relation.Tuple{}, n)
+			return nil, nil
+		},
+	})
+	Register(&adapter{
+		name: "aggregate", bound: "IN/p + √(IN·OUT_y/p)", fullJoin: false,
+		applies: (*hypergraph.Hypergraph).IsAcyclic,
+		run: func(job Job) (*mpc.Dist, error) {
+			return core.Aggregate(job.Cluster, job.In, job.GroupBy, job.Seed, job.Emitter), nil
+		},
+	})
+}

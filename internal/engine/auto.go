@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// dispatch is the paper's Figure 1 hierarchy as routing logic: for each
+// class, the algorithm preference order, most specialized (cheapest
+// guarantee) first. Auto walks the list and picks the first registered
+// algorithm whose Applies accepts the query, so shape-restricted entries
+// (hypercube for products, line3 for chains, triangle) fall through to the
+// class-general ones when the query does not match their shape.
+//
+//	tall-flat      → one-round BinHC (instance-optimal in one round, [26])
+//	hierarchical   → HyperCube on products (eq. 1), else RHier (§3.2)
+//	r-hierarchical → RHier (IN/p + L_instance, Thm 3)
+//	acyclic        → Line3 on chains, else AcyclicJoin (§5.1, Thm 7)
+//	cyclic         → HyperCube triangle (§7), else the sequential oracle
+var dispatch = map[hypergraph.Class][]string{
+	hypergraph.TallFlat:      {"binhc", "rhier", "acyclic", "yannakakis"},
+	hypergraph.Hierarchical:  {"hypercube", "rhier", "acyclic", "yannakakis"},
+	hypergraph.RHierarchical: {"rhier", "acyclic", "yannakakis"},
+	hypergraph.Acyclic:       {"line3", "acyclic", "yannakakis"},
+	hypergraph.Cyclic:        {"triangle", "naive"},
+}
+
+// Auto returns the algorithm the engine routes q to: the cheapest
+// registered algorithm whose guarantee covers q's class in the Figure 1
+// hierarchy.
+func Auto(q *hypergraph.Hypergraph) (Algorithm, error) {
+	cls := q.Classify()
+	for _, name := range dispatch[cls] {
+		if a, ok := Lookup(name); ok && a.Applies(q) {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: no registered algorithm covers %v (class %s)", q, cls)
+}
+
+// Route names Auto's choice for q, or "" when nothing covers it. Display
+// helper for the classify command and the Figure 1 table.
+func Route(q *hypergraph.Hypergraph) string {
+	a, err := Auto(q)
+	if err != nil {
+		return ""
+	}
+	return a.Name()
+}

@@ -1,0 +1,217 @@
+// Package engine is the repository's unified execution surface: every join
+// algorithm in internal/core is wrapped as an Algorithm, published in a
+// registry, and selected per query by classification-driven dispatch
+// (Auto). Callers describe WHAT to run with a Job and read the measurement
+// back as a Result; they never touch clusters, emitters or per-algorithm
+// signatures directly.
+//
+// The paper's Figure 1 hierarchy (tall-flat ⊂ hierarchical ⊂
+// r-hierarchical ⊂ acyclic) is executable here: Auto classifies the query
+// and routes it to the cheapest registered algorithm whose guarantee covers
+// the class. This is the seam the ROADMAP's cross-process sharding item
+// plugs into — a serving layer only needs Job in, Result out.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// Algorithm is one join algorithm behind the unified API. Applies reports
+// whether the algorithm's guarantee covers the query (shape and class
+// checks only — never data); Run executes it on the job's cluster, emitting
+// every result through the job's emitter, and returns the distributed
+// result (nil for algorithms that do not materialize one).
+type Algorithm interface {
+	Name() string
+	Applies(q *hypergraph.Hypergraph) bool
+	Run(job Job) (*mpc.Dist, error)
+}
+
+// Job describes one execution: the instance plus every knob an algorithm
+// can take. Zero values select defaults (P=DefaultP, the instance's
+// semiring, a fresh cluster, no verification).
+type Job struct {
+	// In is the (query, relations) pair to join. Required.
+	In *core.Instance
+	// P is the cluster size; 0 selects DefaultP.
+	P int
+	// Seed drives every pseudorandom choice an algorithm makes.
+	Seed uint64
+	// Ring overrides the instance's semiring without mutating it.
+	Ring *relation.Semiring
+	// Emitter, when non-nil, observes every emitted result alongside the
+	// engine's own counter. Wrap materializing emitters in mpc.Synchronized
+	// if the job may run concurrently with others sharing the emitter.
+	Emitter mpc.Emitter
+	// Tau overrides the line-3 heavy/light degree threshold (≤ 0 keeps the
+	// paper's balanced τ = √(OUT/IN)).
+	Tau int64
+	// Order is the Yannakakis join order (nil = along the join tree).
+	Order []int
+	// GroupBy is the output attribute set of aggregate runs.
+	GroupBy hypergraph.AttrSet
+	// Reduce asks one-round algorithms to run the linear-load semi-join
+	// reduction first (the multi-round Table 1 variant).
+	Reduce bool
+	// Want is the expected output size, enforced when CheckWant is set.
+	Want int64
+	// CheckWant verifies the measured OUT against Want (set both when the
+	// oracle count is already known — the harness computes it once per
+	// instance and shares it across algorithms).
+	CheckWant bool
+	// CheckOracle verifies the measured OUT against core.NaiveCount,
+	// computed by the engine. Expensive: materializes the sequential join.
+	CheckOracle bool
+
+	// Cluster is the cluster the job runs on. Run fills it with a fresh
+	// mpc.NewCluster(P); pre-setting it is for tests that replay rounds.
+	Cluster *mpc.Cluster
+}
+
+// DefaultP is the cluster size when Job.P is zero, matching the paper's
+// default experiment scale.
+const DefaultP = 64
+
+// Result is one measured execution: what the bare (OUT, load, rounds)
+// tuples of the old harness carried, plus provenance.
+type Result struct {
+	// Algorithm is the registry name of the algorithm that ran.
+	Algorithm string
+	// OUT is the number of results emitted.
+	OUT int64
+	// Annot is the semiring sum of emitted annotations (the aggregate value
+	// for scalar algorithms such as "count").
+	Annot int64
+	// Load is the realized load L: max tuples received by any server in
+	// any round, including the initial distribution.
+	Load int
+	// Rounds is the number of communication rounds.
+	Rounds int
+	// Bound names the load bound the algorithm tracks.
+	Bound string
+	// Verified is true when a requested OUT check ran and passed.
+	Verified bool
+	// Dist is the distributed result, when the algorithm materializes one.
+	Dist *mpc.Dist
+}
+
+// ErrVerify wraps every output-verification failure, so callers can report
+// mismatches without losing the measurement.
+var ErrVerify = errors.New("output verification failed")
+
+// instance returns the effective instance: the job's, re-rung when Ring is
+// set (shallow copy — relations are shared, never mutated).
+func (job Job) instance() *core.Instance {
+	if job.Ring == nil {
+		return job.In
+	}
+	cp := *job.In
+	cp.Ring = *job.Ring
+	return &cp
+}
+
+// Run executes a on a fresh cluster sized per job and measures it. The
+// returned Result is valid even when err wraps ErrVerify — the run
+// completed, only the check failed.
+func Run(a Algorithm, job Job) (Result, error) {
+	if job.In == nil {
+		return Result{}, fmt.Errorf("engine: job has no instance")
+	}
+	if !a.Applies(job.In.Q) {
+		return Result{}, fmt.Errorf("engine: %s does not apply to %v (class %s)",
+			a.Name(), job.In.Q, job.In.Q.Classify())
+	}
+	if job.P == 0 {
+		job.P = DefaultP
+	}
+	job.In = job.instance()
+	job.Ring = nil
+	if job.Cluster == nil {
+		job.Cluster = mpc.NewCluster(job.P)
+	}
+	counter := mpc.NewCountEmitter(job.In.Ring)
+	if job.Emitter != nil {
+		job.Emitter = mpc.MultiEmitter{counter, job.Emitter}
+	} else {
+		job.Emitter = counter
+	}
+
+	dist, err := a.Run(job)
+	if err != nil {
+		return Result{Algorithm: a.Name()}, fmt.Errorf("engine: %s: %w", a.Name(), err)
+	}
+	res := Result{
+		Algorithm: a.Name(),
+		OUT:       counter.N,
+		Annot:     counter.AnnotSum,
+		Load:      job.Cluster.MaxLoad(),
+		Rounds:    job.Cluster.Rounds(),
+		Bound:     BoundOf(a),
+		Dist:      dist,
+	}
+	want, check := job.Want, job.CheckWant
+	// CheckOracle stands down for non-full-join algorithms (scalar and
+	// aggregate emissions are not the full join's cardinality).
+	if job.CheckOracle && IsFullJoin(a) {
+		if isOracle(a) {
+			// The algorithm IS the oracle; re-running the sequential join
+			// would verify it against itself at double the dominant cost.
+			res.Verified = true
+		} else {
+			want, check = core.NaiveCount(job.In), true
+		}
+	}
+	if check {
+		if res.OUT != want {
+			return res, fmt.Errorf("engine: %s: %w: emitted %d results, oracle says %d",
+				a.Name(), ErrVerify, res.OUT, want)
+		}
+		res.Verified = true
+	}
+	return res, nil
+}
+
+// isOracle reports whether a declares itself the verification oracle.
+func isOracle(a Algorithm) bool {
+	if o, ok := a.(interface{ Oracle() bool }); ok {
+		return o.Oracle()
+	}
+	return false
+}
+
+// RunNamed looks the algorithm up in the registry and runs it.
+func RunNamed(name string, job Job) (Result, error) {
+	a, ok := Lookup(name)
+	if !ok {
+		return Result{}, fmt.Errorf("engine: unknown algorithm %q (have %v)", name, Names())
+	}
+	return Run(a, job)
+}
+
+// AutoRun dispatches the job's query through Auto and runs the selected
+// algorithm: the whole engine API in one call.
+func AutoRun(job Job) (Result, error) {
+	if job.In == nil {
+		return Result{}, fmt.Errorf("engine: job has no instance")
+	}
+	a, err := Auto(job.In.Q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(a, job)
+}
+
+// BoundOf names the load bound a tracks, or "" when the algorithm does not
+// declare one.
+func BoundOf(a Algorithm) string {
+	if b, ok := a.(interface{ Bound() string }); ok {
+		return b.Bound()
+	}
+	return ""
+}

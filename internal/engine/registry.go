@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps algorithm names to implementations. Core adapters
+// register at init; external packages may Register additional algorithms
+// (a remote executor, an instrumented variant) under fresh names.
+var (
+	regMu  sync.RWMutex
+	byName = map[string]Algorithm{}
+)
+
+// Register publishes a under a.Name(). Empty or duplicate names panic:
+// registration is an init-time wiring error, not a runtime condition.
+func Register(a Algorithm) {
+	name := a.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := byName[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate algorithm %q", name))
+	}
+	byName[name] = a
+}
+
+// Lookup returns the named algorithm.
+func Lookup(name string) (Algorithm, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	a, ok := byName[name]
+	return a, ok
+}
+
+// All returns every registered algorithm, sorted by name.
+func All() []Algorithm {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Algorithm, 0, len(byName))
+	for _, a := range byName {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns the registered algorithm names, sorted.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, a := range all {
+		out[i] = a.Name()
+	}
+	return out
+}

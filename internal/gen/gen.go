@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
+	"repro/internal/primitives"
 	"repro/internal/relation"
 )
 
@@ -133,7 +134,7 @@ func Line3Random(rng *mpc.Rng, inSize, out int) *core.Instance {
 	if n < 1 {
 		n = 1
 	}
-	tau := isqrt(int64(out) / int64(n))
+	tau := primitives.Isqrt(int64(out) / int64(n))
 	if tau < 1 {
 		tau = 1
 	}
@@ -335,21 +336,4 @@ func LineKUniform(rng *mpc.Rng, k, size, dom int) *core.Instance {
 		rels[i] = Uniform(rng, "R", q.Edges[i].Schema(), size, dom)
 	}
 	return core.NewInstance(q, rels...)
-}
-
-// isqrt returns ⌈√x⌉ for x ≥ 0.
-func isqrt(x int64) int64 {
-	if x <= 0 {
-		return 0
-	}
-	lo, hi := int64(1), x
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		if mid*mid >= x {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
 }

@@ -155,11 +155,3 @@ func TestLineKUniform(t *testing.T) {
 		t.Errorf("IN = %d, want 100", in.IN())
 	}
 }
-
-func TestIsqrt(t *testing.T) {
-	for _, c := range []struct{ x, want int64 }{{0, 0}, {1, 1}, {4, 2}, {5, 3}, {9, 3}, {10, 4}} {
-		if got := isqrt(c.x); got != c.want {
-			t.Errorf("isqrt(%d) = %d, want %d", c.x, got, c.want)
-		}
-	}
-}

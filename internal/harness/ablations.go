@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
+	"repro/internal/primitives"
 	"repro/internal/relation"
 	"repro/internal/stats"
 )
@@ -26,9 +28,7 @@ func E2RHierClosedForm(s Scale) *Table {
 		hub := hubs[task]
 		in := gen.TallFlatSkewed(hub, s.IN/4)
 		out := core.NaiveCount(in)
-		_, l, _ := run(s.P, in, out, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.RHier(c, in, s.Seed, em)
-		})
+		l := run("rhier", s.job(in, out)).Load
 		b := stats.RHierOutput(in.IN(), out, s.P)
 		return [][]any{{hub, in.IN(), out, stats.KStar(in.IN(), out), l, b, stats.Ratio(l, b)}}
 	})
@@ -64,12 +64,10 @@ func E3AcyclicVsYannakakis(s Scale) *Table {
 			in = gen.LineKUniform(rng, 4, s.IN/4, maxInt(s.IN/16, 2))
 		}
 		want := core.NaiveCount(in)
-		_, ly, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Yannakakis(c, in, order, s.Seed, em)
-		})
-		_, la, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.AcyclicJoin(c, in, s.Seed, em)
-		})
+		yjob := s.job(in, want)
+		yjob.Order = order
+		ly := run("yannakakis", yjob).Load
+		la := run("acyclic", s.job(in, want)).Load
 		return [][]any{{name, in.IN(), want, ly, la,
 			fmt.Sprintf("%.1fx", float64(ly)/float64(maxInt(la, 1)))}}
 	})
@@ -117,14 +115,11 @@ func E4Aggregate(s Scale) *Table {
 	// overlapped with the aggregate run.
 	res := s.rows(2, func(task int) [][]any {
 		if task == 0 {
-			cAgg := mpc.NewCluster(s.P)
-			r := core.Aggregate(cAgg, in, y, s.Seed, nil)
-			return [][]any{{int64(r.Size()), cAgg.MaxLoad()}}
+			agg := run("aggregate", engine.Job{In: in, P: s.P, Seed: s.Seed, GroupBy: y})
+			return [][]any{{int64(agg.Dist.Size()), agg.Load}}
 		}
 		fullOut := core.NaiveCount(in)
-		_, lFull, _ := run(s.P, in, fullOut, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.AcyclicJoin(c, in, s.Seed, em)
-		})
+		lFull := run("acyclic", s.job(in, fullOut)).Load
 		return [][]any{{fullOut, lFull}}
 	})
 	outY, lAgg := res[0][0].(int64), res[0][1].(int)
@@ -142,7 +137,7 @@ func AblationTau(s Scale) *Table {
 	rng := mpc.NewChildRng(s.Seed, 0)
 	in := gen.Line3Random(rng, s.IN, 16*s.IN)
 	want := core.NaiveCount(in)
-	tauStar := isqrtInt(int(want) / maxInt(in.IN(), 1))
+	tauStar := maxInt(1, primitives.IsqrtInt(int(want)/maxInt(in.IN(), 1)))
 	t := &Table{
 		Title: "Ablation — line-3 heavy/light threshold τ (eqs. 4–5 balance)",
 		Note: fmt.Sprintf("p=%d IN=%d OUT=%d; paper's τ* = √(OUT/IN) = %d",
@@ -160,9 +155,9 @@ func AblationTau(s Scale) *Table {
 	}
 	s.addRows(t, len(taus), func(task int) [][]any {
 		tau := taus[task]
-		_, l, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Line3WithTau(c, in, int64(tau), s.Seed, em)
-		})
+		job := s.job(in, want)
+		job.Tau = int64(tau)
+		l := run("line3", job).Load
 		mark := ""
 		if tau == tauStar {
 			mark = "← τ*"
@@ -201,19 +196,17 @@ func AblationGrid(s Scale) *Table {
 	t := &Table{
 		Title: "Ablation — §3.2 Case 2 grid vs two-step (|Q1|=1, |Q2|=p·IN)",
 		Note: fmt.Sprintf("p=%d; L_instance=%d; a two-step plan must materialize Q2 (≈%d load)",
-			p, li, n/p*p/p+isqrtInt(n*p/p)),
+			p, li, n/p*p/p+primitives.IsqrtInt(n*p/p)),
 		Header: []string{"algorithm", "IN", "OUT", "L", "L/L_inst"},
 	}
 	s.addRows(t, 2, func(task int) [][]any {
 		if task == 0 {
-			_, lg, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-				core.RHier(c, in, s.Seed, em)
-			})
+			lg := run("rhier", s.job(in, want)).Load
 			return [][]any{{"RHier grid (§3.2)", in.IN(), want, lg, stats.Ratio(lg, float64(li))}}
 		}
-		_, ly, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Yannakakis(c, in, []int{1, 2, 0}, s.Seed, em)
-		})
+		job := s.job(in, want)
+		job.Order = []int{1, 2, 0}
+		ly := run("yannakakis", job).Load
 		return [][]any{{"two-step (materialize Q2)", in.IN(), want, ly, stats.Ratio(ly, float64(li))}}
 	})
 	return t

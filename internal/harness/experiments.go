@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
@@ -51,25 +52,32 @@ func (s Scale) addRows(t *Table, n int, fn func(task int) [][]any) {
 	}
 }
 
-// run executes an algorithm on a fresh cluster and reports (OUT, load,
-// rounds), verifying the count against the expected value when want ≥ 0.
-func run(p int, in *core.Instance, want int64,
-	algo func(c *mpc.Cluster, em mpc.Emitter)) (int64, int, int) {
-	c := mpc.NewCluster(p)
-	em := mpc.NewCountEmitter(in.Ring)
-	algo(c, em)
-	if want >= 0 && em.N != want {
-		panic(fmt.Sprintf("harness: algorithm emitted %d results, oracle says %d", em.N, want))
+// run executes the named engine algorithm and returns the measured Result;
+// every engine failure — including an output count disagreeing with the
+// oracle — is a harness bug and panics.
+func run(algo string, job engine.Job) engine.Result {
+	res, err := engine.RunNamed(algo, job)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
 	}
-	return em.N, c.MaxLoad(), c.Rounds()
+	return res
+}
+
+// job returns the scale's base job for one instance: the experiments all
+// run on s.P servers with s.Seed, verifying against the shared oracle
+// count (want < 0 skips verification, as for algorithms whose emitted
+// cardinality is not the full join).
+func (s Scale) job(in *core.Instance, want int64) engine.Job {
+	return engine.Job{In: in, P: s.P, Seed: s.Seed, Want: want, CheckWant: want >= 0}
 }
 
 // Fig1Classification regenerates Figure 1: the classification of the query
-// catalog, with witnesses for each strict inclusion.
+// catalog, with witnesses for each strict inclusion and the algorithm the
+// engine routes each class to.
 func Fig1Classification(s Scale) *Table {
 	t := &Table{
 		Title:  "Figure 1 — classification of joins (tall-flat ⊂ hierarchical ⊂ r-hierarchical ⊂ acyclic)",
-		Header: []string{"query", "acyclic", "r-hier", "hier", "tall-flat", "class"},
+		Header: []string{"query", "acyclic", "r-hier", "hier", "tall-flat", "class", "engine"},
 	}
 	cat := hypergraph.Catalog()
 	s.addRows(t, len(cat), func(task int) [][]any {
@@ -79,7 +87,8 @@ func Fig1Classification(s Scale) *Table {
 			e.Q.IsAcyclic() && e.Q.IsRHierarchical(),
 			e.Q.IsHierarchical(),
 			e.Q.IsTallFlat(),
-			e.Q.Classify().String()}}
+			e.Q.Classify().String(),
+			engine.Route(e.Q)}}
 	})
 	return t
 }
@@ -104,48 +113,36 @@ func Fig3JoinOrder(s Scale) *Table {
 			s.P),
 		Header: []string{"instance", "algorithm", "IN", "OUT", "load L", "L/(IN/p)", "bound tracked"},
 	}
-	type algo struct {
-		name  string
+	algos := []struct {
+		algo  string
+		label string
 		bound string
-		run   func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter)
+		order []int
+	}{
+		{"yannakakis", "Yannakakis (R1⋈R2)⋈R3", "OUT/p", []int{0, 1, 2}},
+		{"yannakakis", "Yannakakis R1⋈(R2⋈R3)", "IN/p+√(OUT/p) or OUT/p", []int{2, 1, 0}},
+		{"line3", "Line3 (§4.2)", "IN/p+√(IN·OUT/p)", nil},
+		{"acyclic", "AcyclicJoin (§5.1)", "IN/p+√(IN·OUT/p)", nil},
 	}
-	algos := []algo{
-		{"Yannakakis (R1⋈R2)⋈R3", "OUT/p",
-			func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter) {
-				core.Yannakakis(c, in, []int{0, 1, 2}, s.Seed, em)
-			}},
-		{"Yannakakis R1⋈(R2⋈R3)", "IN/p+√(OUT/p) or OUT/p",
-			func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter) {
-				core.Yannakakis(c, in, []int{2, 1, 0}, s.Seed, em)
-			}},
-		{"Line3 (§4.2)", "IN/p+√(IN·OUT/p)",
-			func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter) {
-				core.Line3(c, in, s.Seed, em)
-			}},
-		{"AcyclicJoin (§5.1)", "IN/p+√(IN·OUT/p)",
-			func(c *mpc.Cluster, in *core.Instance, em mpc.Emitter) {
-				core.AcyclicJoin(c, in, s.Seed, em)
-			}},
+	families := []struct{ family, label string }{
+		{"hard", "one-sided"},
+		{"doubled", "doubled"},
 	}
-	doubles := []bool{false, true}
-	s.addRows(t, len(doubles), func(task int) [][]any {
-		var in *core.Instance
-		name := "one-sided"
-		if doubles[task] {
-			in = gen.YannakakisHardDoubled(s.IN, 8*s.IN)
-			name = "doubled"
-		} else {
-			in = gen.YannakakisHard(s.IN, 8*s.IN)
+	s.addRows(t, len(families), func(task int) [][]any {
+		f := families[task]
+		in, err := gen.Build(f.family, nil, s.IN, 8*s.IN)
+		if err != nil {
+			panic(err)
 		}
 		want := core.NaiveCount(in)
 		inSize := in.IN()
 		rows := make([][]any, 0, len(algos))
 		for _, a := range algos {
-			_, l, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-				a.run(c, in, em)
-			})
-			rows = append(rows, []any{name, a.name, inSize, want, l,
-				stats.Ratio(l, stats.Linear(inSize, s.P)), a.bound})
+			job := s.job(in, want)
+			job.Order = a.order
+			res := run(a.algo, job)
+			rows = append(rows, []any{f.label, a.label, inSize, want, res.Load,
+				stats.Ratio(res.Load, stats.Linear(inSize, s.P)), a.bound})
 		}
 		return rows
 	})
@@ -172,21 +169,16 @@ func Fig4Line3Sweep(s Scale) *Table {
 		if f == 0 {
 			out = s.IN / 4
 		}
-		in := gen.Line3Random(rng, s.IN, out)
+		in, err := gen.Build("random", rng, s.IN, out)
+		if err != nil {
+			panic(err)
+		}
 		want := core.NaiveCount(in)
 		inSize := in.IN()
-		_, ly, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Yannakakis(c, in, nil, s.Seed, em)
-		})
-		_, l3, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Line3(c, in, s.Seed, em)
-		})
-		_, la, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.AcyclicJoin(c, in, s.Seed, em)
-		})
-		_, lw, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Line3WorstCase(c, in, s.Seed, em)
-		})
+		ly := run("yannakakis", s.job(in, want)).Load
+		l3 := run("line3", s.job(in, want)).Load
+		la := run("acyclic", s.job(in, want)).Load
+		lw := run("line3wc", s.job(in, want)).Load
 		lb := stats.Line3Lower(inSize, want, s.P)
 		regime := "OUT≤IN: linear"
 		switch {
@@ -237,19 +229,21 @@ func Fig6TriangleSweep(s Scale) *Table {
 	s.addRows(t, len(factors), func(task int) [][]any {
 		f := factors[task]
 		rng := mpc.NewChildRng(s.Seed, task)
-		in := gen.TriangleRandom(rng, s.IN, s.IN*f)
+		in, err := gen.Build("triangle", rng, s.IN, s.IN*f)
+		if err != nil {
+			panic(err)
+		}
 		want := core.NaiveCount(in)
 		inSize := in.IN()
-		_, lt, _ := run(s.P, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Triangle(c, in, s.Seed, em)
-		})
+		lt := run("triangle", s.job(in, want)).Load
 		lb := stats.TriangleLower(inSize, want, s.P)
 		// An acyclic join with the same IN/OUT for the separation column.
-		l3in := gen.Line3Random(rng, inSize, int(want))
+		l3in, err := gen.Build("random", rng, inSize, int(want))
+		if err != nil {
+			panic(err)
+		}
 		l3want := core.NaiveCount(l3in)
-		_, l3, _ := run(s.P, l3in, l3want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Line3(c, l3in, s.Seed, em)
-		})
+		l3 := run("line3", s.job(l3in, l3want)).Load
 		return [][]any{{fmt.Sprintf("%d", f), inSize, want, lt, lb, stats.Ratio(lt, lb), l3,
 			fmt.Sprintf("%.1fx", float64(lt)/float64(maxInt(l3, 1)))}}
 	})
@@ -267,16 +261,21 @@ func Table1Loads(s Scale) *Table {
 		Header: []string{"class", "instance", "algorithm", "IN", "OUT", "L", "bound", "L/bound"},
 	}
 	p := s.P
+	instBound := func(in *core.Instance) float64 {
+		red := core.NaiveSemiJoinReduce(in)
+		return float64(in.IN())/float64(p) + float64(core.LInstance(red, p))
+	}
 	sections := []func(task int) [][]any{
 		// Tall-flat: keyed product with one hub.
 		func(task int) [][]any {
-			hub := isqrtInt(4 * s.IN)
-			tf := gen.TallFlatSkewed(hub, s.IN/2)
+			tf, err := gen.Build("tallflat", nil, s.IN, 0)
+			if err != nil {
+				panic(err)
+			}
 			tfOut := core.NaiveCount(tf)
-			tfRed := core.NaiveSemiJoinReduce(tf)
-			tfB := float64(tf.IN())/float64(p) + float64(core.LInstance(tfRed, p))
-			_, l1, _ := run(p, tf, tfOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, tf, s.Seed, false, em) })
-			_, l2, _ := run(p, tf, tfOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, tf, s.Seed, em) })
+			tfB := instBound(tf)
+			l1 := run("binhc", s.job(tf, tfOut)).Load
+			l2 := run("rhier", s.job(tf, tfOut)).Load
 			return [][]any{
 				{"tall-flat", "hub keyed product", "BinHC (1 round)", tf.IN(), tfOut, l1, tfB, stats.Ratio(l1, tfB)},
 				{"tall-flat", "hub keyed product", "RHier (§3.2)", tf.IN(), tfOut, l2, tfB, stats.Ratio(l2, tfB)},
@@ -285,11 +284,14 @@ func Table1Loads(s Scale) *Table {
 		// r-hierarchical without dangling tuples.
 		func(task int) [][]any {
 			rng := mpc.NewChildRng(s.Seed, task)
-			rh := gen.RHierSkewed(rng, 4, isqrtInt(s.IN), s.IN/2)
+			rh, err := gen.Build("rhier", rng, s.IN, 0)
+			if err != nil {
+				panic(err)
+			}
 			rhOut := core.NaiveCount(rh)
-			rhB := float64(rh.IN())/float64(p) + float64(core.LInstance(core.NaiveSemiJoinReduce(rh), p))
-			_, l1, _ := run(p, rh, rhOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rh, s.Seed, false, em) })
-			_, l2, _ := run(p, rh, rhOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, rh, s.Seed, em) })
+			rhB := instBound(rh)
+			l1 := run("binhc", s.job(rh, rhOut)).Load
+			l2 := run("rhier", s.job(rh, rhOut)).Load
 			return [][]any{
 				{"r-hier (no dangling)", "hub star", "BinHC (1 round)", rh.IN(), rhOut, l1, rhB, stats.Ratio(l1, rhB)},
 				{"r-hier (no dangling)", "hub star", "RHier (§3.2)", rh.IN(), rhOut, l2, rhB, stats.Ratio(l2, rhB)},
@@ -301,10 +303,12 @@ func Table1Loads(s Scale) *Table {
 		func(task int) [][]any {
 			rhd := gen.Q2FakeHub(s.IN/8, s.IN/2)
 			rhdOut := core.NaiveCount(rhd)
-			rhdB := float64(rhd.IN())/float64(p) + float64(core.LInstance(core.NaiveSemiJoinReduce(rhd), p))
-			_, l1, _ := run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rhd, s.Seed, false, em) })
-			_, l2, _ := run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.BinHC(c, rhd, s.Seed, true, em) })
-			_, l3, _ := run(p, rhd, rhdOut, func(c *mpc.Cluster, em mpc.Emitter) { core.RHier(c, rhd, s.Seed, em) })
+			rhdB := instBound(rhd)
+			l1 := run("binhc", s.job(rhd, rhdOut)).Load
+			reduced := s.job(rhd, rhdOut)
+			reduced.Reduce = true
+			l2 := run("binhc", reduced).Load
+			l3 := run("rhier", s.job(rhd, rhdOut)).Load
 			return [][]any{
 				{"hier (dangling)", "Q2 + fake hub", "BinHC (1 round)", rhd.IN(), rhdOut, l1, rhdB, stats.Ratio(l1, rhdB)},
 				{"hier (dangling)", "Q2 + fake hub", "reduce+BinHC", rhd.IN(), rhdOut, l2, rhdB, stats.Ratio(l2, rhdB)},
@@ -314,13 +318,16 @@ func Table1Loads(s Scale) *Table {
 		// Acyclic non-r-hierarchical: line-3 at OUT = 8·IN.
 		func(task int) [][]any {
 			rng := mpc.NewChildRng(s.Seed, task)
-			l3in := gen.Line3Random(rng, s.IN, 8*s.IN)
+			l3in, err := gen.Build("random", rng, s.IN, 8*s.IN)
+			if err != nil {
+				panic(err)
+			}
 			l3Out := core.NaiveCount(l3in)
 			l3B := stats.Acyclic(l3in.IN(), l3Out, p)
 			yB := stats.Yannakakis(l3in.IN(), l3Out, p)
-			_, l1, _ := run(p, l3in, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.Yannakakis(c, l3in, nil, s.Seed, em) })
-			_, l2, _ := run(p, l3in, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.Line3(c, l3in, s.Seed, em) })
-			_, l3l, _ := run(p, l3in, l3Out, func(c *mpc.Cluster, em mpc.Emitter) { core.AcyclicJoin(c, l3in, s.Seed, em) })
+			l1 := run("yannakakis", s.job(l3in, l3Out)).Load
+			l2 := run("line3", s.job(l3in, l3Out)).Load
+			l3l := run("acyclic", s.job(l3in, l3Out)).Load
 			return [][]any{
 				{"acyclic", "random line-3", "Yannakakis", l3in.IN(), l3Out, l1, yB, stats.Ratio(l1, yB)},
 				{"acyclic", "random line-3", "Line3 (§4.2)", l3in.IN(), l3Out, l2, l3B, stats.Ratio(l2, l3B)},
@@ -330,10 +337,13 @@ func Table1Loads(s Scale) *Table {
 		// Triangle.
 		func(task int) [][]any {
 			rng := mpc.NewChildRng(s.Seed, task)
-			tr := gen.TriangleRandom(rng, s.IN, 4*s.IN)
+			tr, err := gen.Build("triangle", rng, s.IN, 4*s.IN)
+			if err != nil {
+				panic(err)
+			}
 			trOut := core.NaiveCount(tr)
 			trB := stats.TriangleWorstCase(tr.IN(), p)
-			_, l, _ := run(p, tr, trOut, func(c *mpc.Cluster, em mpc.Emitter) { core.Triangle(c, tr, s.Seed, em) })
+			l := run("triangle", s.job(tr, trOut)).Load
 			return [][]any{
 				{"triangle (cyclic)", "random triangle", "HyperCube△ [24]", tr.IN(), trOut, l, trB, stats.Ratio(l, trB)},
 			}
@@ -363,16 +373,16 @@ func E5InstanceGap(s Scale) *Table {
 		// OUT = p·IN grows with p; scale IN down so the oracle's full
 		// materialization stays bounded.
 		inSize := s.IN * 16 / p
-		in := gen.Line3Random(rng, inSize, p*inSize)
+		in, err := gen.Build("random", rng, inSize, p*inSize)
+		if err != nil {
+			panic(err)
+		}
 		want := core.NaiveCount(in)
 		red := core.NaiveSemiJoinReduce(in)
 		li := core.LInstance(red, p)
-		_, l3, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Line3(c, in, s.Seed, em)
-		})
-		_, ly, _ := run(p, in, want, func(c *mpc.Cluster, em mpc.Emitter) {
-			core.Yannakakis(c, in, nil, s.Seed, em)
-		})
+		job := engine.Job{In: in, P: p, Seed: s.Seed, Want: want, CheckWant: true}
+		l3 := run("line3", job).Load
+		ly := run("yannakakis", job).Load
 		return [][]any{{p, in.IN(), want, li, stats.WorstCaseLine(in.IN(), p), l3, ly,
 			stats.Ratio(l3, float64(li))}}
 	})
@@ -384,12 +394,4 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func isqrtInt(x int) int {
-	r := 1
-	for r*r < x {
-		r++
-	}
-	return r
 }

@@ -1,0 +1,45 @@
+package primitives
+
+// Integer roots used across the repository: the generators size domains by
+// √IN, the instance-optimal allocator evaluates the equation-(2) bound
+// (|Q(R,S)|/p)^{1/|S|}, and the CLIs derive family parameters. One canonical
+// implementation lives here so every layer rounds the same way (ceiling).
+
+// Iroot returns ⌈x^(1/k)⌉ for x ≥ 0, k ≥ 1, and 0 for x ≤ 0.
+func Iroot(x int64, k int) int64 {
+	if x <= 0 {
+		return 0
+	}
+	if k == 1 {
+		return x
+	}
+	lo, hi := int64(1), x
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if Ipow(mid, k) >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Isqrt returns ⌈√x⌉ for x ≥ 0.
+func Isqrt(x int64) int64 { return Iroot(x, 2) }
+
+// IsqrtInt is Isqrt on machine ints, for call sites sizing instances.
+func IsqrtInt(x int) int { return int(Isqrt(int64(x))) }
+
+// Ipow returns min(b^k, 2^62) without overflow.
+func Ipow(b int64, k int) int64 {
+	const cap62 = int64(1) << 62
+	out := int64(1)
+	for i := 0; i < k; i++ {
+		if b != 0 && out > cap62/b {
+			return cap62
+		}
+		out *= b
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package primitives
+
+import "testing"
+
+func TestIRootAndIPow(t *testing.T) {
+	cases := []struct {
+		x    int64
+		k    int
+		want int64
+	}{
+		{0, 2, 0}, {1, 2, 1}, {8, 3, 2}, {9, 2, 3}, {10, 2, 4}, {100, 1, 100},
+		{26, 3, 3}, {27, 3, 3}, {28, 3, 4},
+	}
+	for _, c := range cases {
+		if got := Iroot(c.x, c.k); got != c.want {
+			t.Errorf("Iroot(%d,%d) = %d, want %d", c.x, c.k, got, c.want)
+		}
+	}
+	if Ipow(10, 3) != 1000 {
+		t.Error("ipow wrong")
+	}
+	if Ipow(1<<40, 3) != 1<<62 {
+		t.Error("ipow must saturate")
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	for _, c := range []struct{ x, want int64 }{{0, 0}, {1, 1}, {4, 2}, {5, 3}, {9, 3}, {10, 4}} {
+		if got := Isqrt(c.x); got != c.want {
+			t.Errorf("Isqrt(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if IsqrtInt(4096) != 64 {
+		t.Error("IsqrtInt(4096) != 64")
+	}
+}
