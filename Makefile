@@ -1,10 +1,16 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke bench experiments
+# bench knobs: BENCH filters the benchmark set, COUNT is the number of
+# counted runs (benchstat wants ≥ 6 to report significance).
+BENCH ?= BenchmarkExchange|BenchmarkRoute
+COUNT ?= 6
 
-# ci is tier-1 plus race checking plus a public-API smoke pass in one
-# command: if an example or CLI stops compiling or running, ci fails.
-ci: fmt vet build race smoke
+.PHONY: ci fmt vet build test race smoke bench bench-all bench-smoke experiments
+
+# ci is tier-1 plus race checking, a public-API smoke pass, and a
+# bench-smoke pass in one command: if an example, CLI, or benchmark stops
+# compiling or running, ci fails.
+ci: fmt vet build race smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -38,8 +44,23 @@ smoke: build
 	$(GO) run ./cmd/classify -q "1,2;2,3;3,4" > /dev/null
 	@echo "smoke: all examples and CLIs ran"
 
+# bench runs the exchange microbenchmarks (override with BENCH=…) as
+# COUNT counted passes with allocation stats — pipe the output of two
+# checkouts into benchstat to compare the data planes:
+#
+#	make bench > new.txt && git stash && make bench > old.txt
+#	benchstat old.txt new.txt
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) ./...
+
+# bench-all is the full uncounted suite (tables, figures, micro).
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-smoke compiles and runs every exchange benchmark once; keeps the
+# benchmark surface from rotting without paying for counted runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime 1x ./internal/mpc
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -11,6 +11,7 @@ package repro
 import (
 	"flag"
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/core"
@@ -22,12 +23,19 @@ import (
 	"repro/internal/runtime"
 )
 
-// workersFlag caps the experiment scheduler's parallelism for the
-// harness-driven benchmarks (BenchmarkHarness_*) and the smoke tests;
-// tables and metrics are identical for any value. The per-algorithm
-// micro-benchmarks below run on a single cluster and ignore it.
+// workersFlag caps the parallelism of both planes — the experiment
+// scheduler driving the harness benchmarks (BenchmarkHarness_*) and smoke
+// tests, and the data plane inside each cell (batched exchange, parallel
+// sub-clusters, oracle probes). Tables and metrics are identical for any
+// value; 1 runs everything serially.
 var workersFlag = flag.Int("workers", runtime.DefaultWorkers(),
-	"experiment scheduler parallelism (1 = serial)")
+	"simulator parallelism (1 = serial)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	runtime.SetParallelism(*workersFlag)
+	os.Exit(m.Run())
+}
 
 // benchScale keeps per-iteration work moderate; the experiments command
 // runs the full DefaultScale.

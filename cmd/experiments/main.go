@@ -39,6 +39,10 @@ func main() {
 		s.Seed = *seed
 	}
 	s.Workers = *workers
+	// One knob for both planes: the experiment scheduler's width and the
+	// data plane (batched exchange scatter, parallel sub-clusters, oracle
+	// probes). Tables are byte-identical for every value.
+	runtime.SetParallelism(*workers)
 
 	sel := strings.ToLower(*which)
 	show := func(name string) bool { return sel == "all" || sel == name }

@@ -68,6 +68,8 @@ func main() {
 		res.Algorithm, *family, in.Q.Classify(), in.IN(), out, *p)
 	fmt.Printf("  load L = %d   rounds = %d   bound tracked: %s   verification: %s\n",
 		res.Load, res.Rounds, res.Bound, status)
+	fmt.Printf("  comm: total = %d tuples   exchanges = %d (%d tuples batched, %d active destinations)\n",
+		res.TotalComm, res.Exchange.Exchanges, res.Exchange.Tuples, res.Exchange.ActiveDests)
 	fmt.Printf("  bounds: linear IN/p = %.0f   Yannakakis IN/p+OUT/p = %.0f   paper IN/p+√(IN·OUT/p) = %.0f\n",
 		stats.Linear(in.IN(), *p), stats.Yannakakis(in.IN(), out, *p), stats.Acyclic(in.IN(), out, *p))
 }

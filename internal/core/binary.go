@@ -7,6 +7,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/primitives"
 	"repro/internal/relation"
+	"repro/internal/runtime"
 )
 
 // Synthetic attributes used to carry per-tuple statistics through
@@ -96,17 +97,24 @@ func BinaryJoin(a, b *mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emit
 	ra := routeSide(ax, aPosKey, true, seed^0x20)
 	rb := routeSide(bx, bPosKey, false, seed^0x21)
 
-	// Local hash join per server; results are born where they are produced.
+	// Local hash join per server; results are born where they are
+	// produced. Servers join in parallel — each writes only its own part —
+	// and emission runs afterwards in server order, so the emitter sees the
+	// exact serial sequence.
 	res := mpc.NewDist(c, outSchema)
 	bExtra := b.Schema.Minus(a.Schema)
 	bExtraPosIn := rb.Positions(bExtra)
 	aCore := len(a.Schema)
-	for s := range ra.Parts {
+	runtime.Fork(len(ra.Parts), func(s int) {
+		if len(ra.Parts[s]) == 0 || len(rb.Parts[s]) == 0 {
+			return
+		}
 		idx := make(map[string][]mpc.Item)
 		for _, it := range rb.Parts[s] {
 			k := relation.KeyAt(it.T, bPosKey)
 			idx[k] = append(idx[k], it)
 		}
+		var part []mpc.Item
 		for _, ai := range ra.Parts[s] {
 			k := relation.KeyAt(ai.T, aPosKey)
 			for _, bi := range idx[k] {
@@ -115,15 +123,26 @@ func BinaryJoin(a, b *mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emit
 				for _, p := range bExtraPosIn {
 					t = append(t, bi.T[p])
 				}
-				an := ring.Mul(ai.A, bi.A)
-				res.Parts[s] = append(res.Parts[s], mpc.Item{T: t, A: an})
-				if em != nil {
-					em.Emit(s, t, an)
-				}
+				part = append(part, mpc.Item{T: t, A: ring.Mul(ai.A, bi.A)})
 			}
 		}
-	}
+		res.Parts[s] = part
+	})
+	emitParts(res, em)
 	return res
+}
+
+// emitParts reports every item of res to em in server order — the serial
+// emission sequence — after a parallel per-server production phase.
+func emitParts(res *mpc.Dist, em mpc.Emitter) {
+	if em == nil {
+		return
+	}
+	for s, part := range res.Parts {
+		for _, it := range part {
+			em.Emit(s, it.T, it.A)
+		}
+	}
 }
 
 // gridInfo describes the server grid of one heavy key.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/primitives"
 	"repro/internal/relation"
+	"repro/internal/runtime"
 )
 
 // MultiwayKeyedJoin joins m relations that all contain the key attributes
@@ -89,7 +90,10 @@ func MultiwayKeyedJoin(key relation.Schema, dists []*mpc.Dist, ring relation.Sem
 		extraDst[i] = outSchema.Positions([]relation.Attr(extras))
 		keyPosIn[i] = d.Positions(keyAttrs)
 	}
-	for s := 0; s < c.P; s++ {
+	// Per-server cross products run in parallel — server s writes only
+	// res.Parts[s] — and emission runs afterwards in server order, the
+	// exact serial sequence.
+	runtime.Fork(c.P, func(s int) {
 		groups := make(map[string][][]mpc.Item)
 		for i, d := range routed {
 			for _, it := range d.Parts[s] {
@@ -120,15 +124,16 @@ func MultiwayKeyedJoin(key relation.Schema, dists []*mpc.Dist, ring relation.Sem
 				continue
 			}
 			keyVals := relation.DecodeKey(k)
-			emitCross(res, s, g, keyVals, keyPosOut, extraPos, extraDst, len(outSchema), ring, em)
+			emitCross(res, s, g, keyVals, keyPosOut, extraPos, extraDst, len(outSchema), ring)
 		}
-	}
+	})
+	emitParts(res, em)
 	return res
 }
 
-// emitCross enumerates the cross product of the m groups.
+// emitCross enumerates the cross product of the m groups into res.Parts[s].
 func emitCross(res *mpc.Dist, s int, g [][]mpc.Item, keyVals []relation.Value,
-	keyPosOut []int, extraPos, extraDst [][]int, width int, ring relation.Semiring, em mpc.Emitter) {
+	keyPosOut []int, extraPos, extraDst [][]int, width int, ring relation.Semiring) {
 	m := len(g)
 	choice := make([]int, m)
 	for {
@@ -145,9 +150,6 @@ func emitCross(res *mpc.Dist, s int, g [][]mpc.Item, keyVals []relation.Value,
 			annot = ring.Mul(annot, it.A)
 		}
 		res.Parts[s] = append(res.Parts[s], mpc.Item{T: t, A: annot})
-		if em != nil {
-			em.Emit(s, t, annot)
-		}
 		// Advance the mixed-radix counter.
 		i := m - 1
 		for ; i >= 0; i-- {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/relation"
+	"repro/internal/runtime"
 )
 
 // Naive computes Q(R) by in-memory left-to-right hash joins. It is the
@@ -38,7 +39,14 @@ func NaiveCount(in *Instance) int64 {
 	return int64(Naive(in).Size())
 }
 
-// naiveJoin hash-joins a and b on their shared attributes.
+// naiveJoinSerialBelow is the probe-side size under which the hash join
+// stays on the calling goroutine.
+const naiveJoinSerialBelow = 1 << 12
+
+// naiveJoin hash-joins a and b on their shared attributes. The build side
+// is indexed once; the probe side is cut into contiguous chunks joined in
+// parallel and concatenated in chunk order, so the result is identical to
+// the serial probe for every worker count.
 func naiveJoin(a, b *relation.Relation, ring relation.Semiring) *relation.Relation {
 	shared := a.Schema.Intersect(b.Schema)
 	aPos := a.Schema.Positions(shared)
@@ -54,18 +62,43 @@ func naiveJoin(a, b *relation.Relation, ring relation.Semiring) *relation.Relati
 		k := relation.KeyAt(t, bPos)
 		idx[k] = append(idx[k], i)
 	}
-	for i, t := range a.Tuples {
-		k := relation.KeyAt(t, aPos)
-		for _, j := range idx[k] {
-			bt := b.Tuples[j]
-			nt := make(relation.Tuple, 0, len(t)+len(bExtraPos))
-			nt = append(nt, t...)
-			for _, p := range bExtraPos {
-				nt = append(nt, bt[p])
-			}
-			out.Tuples = append(out.Tuples, nt)
-			out.Annots = append(out.Annots, ring.Mul(a.Annot(i), b.Annot(j)))
+
+	n := len(a.Tuples)
+	chunks := runtime.Parallelism()
+	if n < naiveJoinSerialBelow || chunks > n {
+		chunks = 1
+	}
+	type probeOut struct {
+		tuples []relation.Tuple
+		annots []int64
+	}
+	outs := make([]probeOut, chunks)
+	per := (n + chunks - 1) / chunks
+	runtime.Fork(chunks, func(w int) {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
 		}
+		var po probeOut
+		for i := lo; i < hi; i++ {
+			t := a.Tuples[i]
+			k := relation.KeyAt(t, aPos)
+			for _, j := range idx[k] {
+				bt := b.Tuples[j]
+				nt := make(relation.Tuple, 0, len(t)+len(bExtraPos))
+				nt = append(nt, t...)
+				for _, p := range bExtraPos {
+					nt = append(nt, bt[p])
+				}
+				po.tuples = append(po.tuples, nt)
+				po.annots = append(po.annots, ring.Mul(a.Annot(i), b.Annot(j)))
+			}
+		}
+		outs[w] = po
+	})
+	for _, po := range outs {
+		out.Tuples = append(out.Tuples, po.tuples...)
+		out.Annots = append(out.Annots, po.annots...)
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/primitives"
 	"repro/internal/relation"
+	"repro/internal/runtime"
 )
 
 // Section 3: r-hierarchical joins.
@@ -152,14 +153,8 @@ func hierCase1(sub *mpc.Cluster, active []*relation.Relation, fixed hypergraph.A
 	chargeLinear(sub, totalSize(active))
 
 	out := mpc.NewDist(sub, unionSchema(active))
-	unify := func(d *mpc.Dist) []mpc.Item { return d.All() }
-	_ = unify
 
-	type heavyJob struct {
-		rels []*relation.Relation
-		pa   int
-	}
-	var heavies []heavyJob
+	var heavies [][]*relation.Relation
 	var lightLoads []int
 	lightServer := func(i int) int { return i % sub.P }
 	curLight := 0
@@ -194,8 +189,7 @@ func hierCase1(sub *mpc.Cluster, active []*relation.Relation, fixed hypergraph.A
 			}
 			continue
 		}
-		pa := serversFor(g, newFixed, l, size)
-		heavies = append(heavies, heavyJob{rels: g, pa: pa})
+		heavies = append(heavies, g)
 	}
 	if curLightSize > 0 {
 		lightLoads = append(lightLoads, int(curLightSize))
@@ -208,18 +202,33 @@ func hierCase1(sub *mpc.Cluster, active []*relation.Relation, fixed hypergraph.A
 		sub.ChargeRound(perServer)
 	}
 
-	// Heavy groups recurse in parallel on disjoint server ranges.
-	var stats []mpc.Stats
+	// Heavy groups recurse in parallel on disjoint server ranges — in the
+	// model AND in wall-clock: each group gets its own sub-cluster, so the
+	// recursions share no mutable state and run as forked tasks. Results
+	// and statistics are merged in group order afterwards, which keeps the
+	// output byte-identical to the serial loop for every worker count.
+	type heavyOut struct {
+		pa    int
+		stats mpc.Stats
+		res   *mpc.Dist
+	}
+	outs := make([]heavyOut, len(heavies))
+	runtime.Fork(len(heavies), func(i int) {
+		g := heavies[i]
+		pa := serversFor(g, newFixed, l, size)
+		child := mpc.NewCluster(pa)
+		chargeInput(child, totalSize(g))
+		res := hierRec(child, g, newFixed, l, ring, size)
+		outs[i] = heavyOut{pa: pa, stats: child.Snapshot(), res: res}
+	})
+	stats := make([]mpc.Stats, 0, len(outs))
 	offset := 0
-	for _, h := range heavies {
-		child := mpc.NewCluster(h.pa)
-		chargeInput(child, totalSize(h.rels))
-		res := hierRec(child, h.rels, newFixed, l, ring, size)
-		stats = append(stats, child.Snapshot())
-		for s := 0; s < child.P; s++ {
+	for _, h := range outs {
+		stats = append(stats, h.stats)
+		for s := 0; s < h.res.C.P; s++ {
 			dst := (offset + s) % sub.P
-			for _, it := range res.Parts[s] {
-				out.Parts[dst] = append(out.Parts[dst], mpc.Item{T: padTo(it.T, res.Schema, out.Schema), A: it.A})
+			for _, it := range h.res.Parts[s] {
+				out.Parts[dst] = append(out.Parts[dst], mpc.Item{T: padTo(it.T, h.res.Schema, out.Schema), A: it.A})
 			}
 		}
 		offset += h.pa
@@ -237,10 +246,14 @@ func hierCase2(sub *mpc.Cluster, active []*relation.Relation, fixed hypergraph.A
 	k := len(comps)
 	chargeLinear(sub, totalSize(active))
 
+	// The grid's dimensions compute independently per component (each on
+	// its own sub-cluster), so they run as parallel tasks, merged in
+	// component order.
 	dims := make([]int, k)
 	slices := make([]*mpc.Dist, k)
-	var stats []mpc.Stats
-	for i, comp := range comps {
+	stats := make([]mpc.Stats, k)
+	runtime.Fork(k, func(i int) {
+		comp := comps[i]
 		ini := int64(totalSize(comp))
 		if ini <= l {
 			dims[i] = 1
@@ -250,8 +263,8 @@ func hierCase2(sub *mpc.Cluster, active []*relation.Relation, fixed hypergraph.A
 		child := mpc.NewCluster(dims[i])
 		chargeInput(child, totalSize(comp))
 		slices[i] = hierRec(child, comp, fixed, l, ring, size)
-		stats = append(stats, child.Snapshot())
-	}
+		stats[i] = child.Snapshot()
+	})
 	sub.MergeGrid(stats)
 
 	// Every grid cell (c1,…,ck) emits slice_1(c1) × … × slice_k(ck);

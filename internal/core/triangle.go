@@ -6,6 +6,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
 	"repro/internal/relation"
+	"repro/internal/runtime"
 )
 
 // Triangle computes the triangle join R1(B,C) ⋈ R2(A,C) ⋈ R3(A,B) with the
@@ -88,7 +89,9 @@ func Triangle(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Di
 		}
 	}
 	outA, outB, outC := outSchema.Pos(a), outSchema.Pos(b), outSchema.Pos(cc)
-	for sv := 0; sv < c.P; sv++ {
+	// Per-server probes run in parallel — server sv writes only
+	// res.Parts[sv] — and emission runs afterwards in server order.
+	runtime.Fork(c.P, func(sv int) {
 		// Index R2(A,C) by C and R3(A,B) by B.
 		byC := map[relation.Value][]mpc.Item{}
 		for _, it := range dAC.Parts[sv] {
@@ -120,13 +123,11 @@ func Triangle(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Di
 					t[outA], t[outB], t[outC] = av, bv, cv
 					annot := in.Ring.Mul(bc.A, in.Ring.Mul(acAnnot, ab.A))
 					res.Parts[sv] = append(res.Parts[sv], mpc.Item{T: t, A: annot})
-					if em != nil {
-						em.Emit(sv, t, annot)
-					}
 				}
 			}
 		}
-	}
+	})
+	emitParts(res, em)
 	return res
 }
 

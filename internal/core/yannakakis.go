@@ -7,6 +7,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/primitives"
 	"repro/internal/relation"
+	"repro/internal/runtime"
 )
 
 // LoadInstance distributes every relation of the instance over the cluster
@@ -98,20 +99,88 @@ func Yannakakis(c *mpc.Cluster, in *Instance, order []int, seed uint64, em mpc.E
 	return acc
 }
 
+// emitSerialBelow is the result size under which EmitDist stays on the
+// calling goroutine.
+const emitSerialBelow = 1 << 12
+
 // EmitDist projects d locally onto schema and reports every tuple to em
 // (free, as emit() is in the model). em may be nil.
+//
+// When every sink in em is shard-safe — counting emitters, which fork
+// per-server counters merged in server order, and per-partition sinks
+// (ShardedEmitter, PerServerCounter), whose partition s is written only by
+// the task owning server s — emission fans out across workers without any
+// lock. Everything else takes the serial path. Both paths produce the same
+// emitter state for every worker count.
 func EmitDist(d *mpc.Dist, schema relation.Schema, em mpc.Emitter) {
 	if em == nil {
 		return
 	}
 	pos := d.Positions([]relation.Attr(schema))
-	for s, part := range d.Parts {
-		for _, it := range part {
+	emitPart := func(s int, sink mpc.Emitter) {
+		for _, it := range d.Parts[s] {
 			t := make(relation.Tuple, len(pos))
 			for i, p := range pos {
 				t[i] = it.T[p]
 			}
-			em.Emit(s, t, it.A)
+			sink.Emit(s, t, it.A)
 		}
 	}
+	if direct, forkers, ok := shardableSinks(em, len(d.Parts)); ok && d.Size() >= emitSerialBelow {
+		locals := make([][]mpc.Emitter, len(d.Parts))
+		runtime.Fork(len(d.Parts), func(s int) {
+			sink := make(mpc.MultiEmitter, 0, len(direct)+len(forkers))
+			sink = append(sink, direct...)
+			ls := make([]mpc.Emitter, len(forkers))
+			for i, f := range forkers {
+				ls[i] = f.ForkWorker()
+				sink = append(sink, ls[i])
+			}
+			emitPart(s, sink)
+			locals[s] = ls
+		})
+		for i, f := range forkers {
+			workers := make([]mpc.Emitter, len(d.Parts))
+			for s := range locals {
+				workers[s] = locals[s][i]
+			}
+			f.MergeWorkers(workers)
+		}
+		return
+	}
+	for s := range d.Parts {
+		emitPart(s, em)
+	}
+}
+
+// shardableSinks flattens em and reports whether every sink supports the
+// parallel per-server emission, by capability: mpc.ForkingSinks are
+// returned for fork-and-merge, mpc.PartitionedSinks covering all parts are
+// emitted into directly (lock-free under per-partition ownership).
+// Anything else forces the serial path.
+func shardableSinks(em mpc.Emitter, parts int) (direct []mpc.Emitter, forkers []mpc.ForkingSink, ok bool) {
+	var walk func(e mpc.Emitter) bool
+	walk = func(e mpc.Emitter) bool {
+		if multi, isMulti := e.(mpc.MultiEmitter); isMulti {
+			for _, sub := range multi {
+				if !walk(sub) {
+					return false
+				}
+			}
+			return true
+		}
+		if ps, isPS := e.(mpc.PartitionedSink); isPS && ps.Partitioned(parts) {
+			direct = append(direct, ps)
+			return true
+		}
+		if f, isFork := e.(mpc.ForkingSink); isFork {
+			forkers = append(forkers, f)
+			return true
+		}
+		return false
+	}
+	if !walk(em) {
+		return nil, nil, false
+	}
+	return direct, forkers, true
 }

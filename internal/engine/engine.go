@@ -46,9 +46,17 @@ type Job struct {
 	// Ring overrides the instance's semiring without mutating it.
 	Ring *relation.Semiring
 	// Emitter, when non-nil, observes every emitted result alongside the
-	// engine's own counter. Wrap materializing emitters in mpc.Synchronized
-	// if the job may run concurrently with others sharing the emitter.
+	// engine's own counter. A materializing observer shared across
+	// concurrent jobs must wrap in mpc.Synchronized (one mutex): jobs
+	// running on different clusters reuse server indices, so a shared
+	// mpc.ShardedEmitter would break its single-producer-per-partition
+	// contract. For lock-free materialization give each job its own
+	// collector — Job.Materialize does exactly that.
 	Emitter mpc.Emitter
+	// Materialize asks Run to collect the emitted results into
+	// Result.Table through a lock-free mpc.ShardedEmitter (per-server
+	// buffers, deterministic server-major merge order).
+	Materialize bool
 	// Tau overrides the line-3 heavy/light degree threshold (≤ 0 keeps the
 	// paper's balanced τ = √(OUT/IN)).
 	Tau int64
@@ -95,10 +103,25 @@ type Result struct {
 	Rounds int
 	// Bound names the load bound the algorithm tracks.
 	Bound string
+	// TotalComm is the total number of tuples communicated across all
+	// rounds and servers, excluding the initial distribution. Rounds
+	// merged from sub-clusters contribute their per-round maxima — the
+	// only statistic the model's composition rules preserve.
+	TotalComm int
+	// Exchange reports the batched exchange's counters for the run —
+	// routed rounds, tuples delivered, active destinations — including
+	// exchanges executed on merged sub-clusters. Synthetically charged
+	// communication (Charge/ChargeRound: statistics passes, packed
+	// groups, directory broadcasts) is counted by TotalComm but is not an
+	// exchange, so algorithms that route nothing physically report zero.
+	Exchange mpc.ExchangeStats
 	// Verified is true when a requested OUT check ran and passed.
 	Verified bool
 	// Dist is the distributed result, when the algorithm materializes one.
 	Dist *mpc.Dist
+	// Table is the emitted result materialized by Job.Materialize
+	// (nil otherwise).
+	Table *relation.Relation
 }
 
 // ErrVerify wraps every output-verification failure, so callers can report
@@ -136,11 +159,18 @@ func Run(a Algorithm, job Job) (Result, error) {
 		job.Cluster = mpc.NewCluster(job.P)
 	}
 	counter := mpc.NewCountEmitter(job.In.Ring)
-	if job.Emitter != nil {
-		job.Emitter = mpc.MultiEmitter{counter, job.Emitter}
-	} else {
-		job.Emitter = counter
+	sinks := mpc.MultiEmitter{counter}
+	var table *mpc.ShardedEmitter
+	if job.Materialize {
+		// Partitioned by the actual cluster width: a pre-set Job.Cluster
+		// may be wider than P, and algorithms emit with its server ids.
+		table = mpc.NewShardedEmitter(emitSchema(a, job), job.Cluster.P)
+		sinks = append(sinks, table)
 	}
+	if job.Emitter != nil {
+		sinks = append(sinks, job.Emitter)
+	}
+	job.Emitter = sinks
 
 	dist, err := a.Run(job)
 	if err != nil {
@@ -153,7 +183,12 @@ func Run(a Algorithm, job Job) (Result, error) {
 		Load:      job.Cluster.MaxLoad(),
 		Rounds:    job.Cluster.Rounds(),
 		Bound:     BoundOf(a),
+		TotalComm: job.Cluster.TotalComm(),
+		Exchange:  job.Cluster.Exchange(),
 		Dist:      dist,
+	}
+	if table != nil {
+		res.Table = table.Rel()
 	}
 	want, check := job.Want, job.CheckWant
 	// CheckOracle stands down for non-full-join algorithms (scalar and
@@ -175,6 +210,19 @@ func Run(a Algorithm, job Job) (Result, error) {
 		res.Verified = true
 	}
 	return res, nil
+}
+
+// emitSchema is the schema of what a emits under job: the full join's
+// canonical output schema for full-join algorithms, the group-by schema
+// for aggregates, and the empty schema for scalar emissions.
+func emitSchema(a Algorithm, job Job) relation.Schema {
+	if IsFullJoin(a) {
+		return job.In.OutputSchema()
+	}
+	if len(job.GroupBy) > 0 {
+		return job.GroupBy.Schema()
+	}
+	return relation.Schema{}
 }
 
 // isOracle reports whether a declares itself the verification oracle.

@@ -3,11 +3,17 @@ package harness
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/runtime"
 )
 
-// renderAll regenerates the full experiment matrix at the given worker
-// count and returns the concatenated rendered tables.
+// renderAll regenerates the full experiment matrix with w scheduler
+// workers AND data-plane width w (batched exchange scatter, parallel
+// sub-clusters, parallel oracle), and returns the concatenated rendered
+// tables.
 func renderAll(w int) string {
+	prev := runtime.SetParallelism(w)
+	defer runtime.SetParallelism(prev)
 	s := Scale{P: 16, IN: 1 << 9, Seed: 2019, Workers: w}
 	var b strings.Builder
 	b.WriteString(Fig1Classification(s).Render())
@@ -25,11 +31,14 @@ func renderAll(w int) string {
 }
 
 // TestDeterminismAcrossWorkers is the parallel runtime's core guarantee:
-// the full experiment matrix rendered with a serial scheduler must be
-// byte-identical to an 8-worker run — same instances (child seeds depend
-// only on task indices), same loads, same rounds, same result counts, same
-// row order. Run under -race (the Makefile ci target does) this also
-// proves the sharded simulator state is data-race free.
+// the full experiment matrix rendered with a serial scheduler AND a serial
+// data plane must be byte-identical to an 8-worker run with an 8-wide data
+// plane — same instances (child seeds depend only on task indices), same
+// loads, same rounds, same result counts, same row order. Run under -race
+// (the Makefile ci target does) this also proves the sharded simulator
+// state, the batched exchange, and the parallel inner loops are data-race
+// free. The memoized oracle is exercised hard here: the three renders
+// rebuild the same instances, so renders two and three hit the cache.
 func TestDeterminismAcrossWorkers(t *testing.T) {
 	serial := renderAll(1)
 	parallel := renderAll(8)

@@ -134,7 +134,7 @@ func Fig3JoinOrder(s Scale) *Table {
 		if err != nil {
 			panic(err)
 		}
-		want := core.NaiveCount(in)
+		want := oracleCount(in)
 		inSize := in.IN()
 		rows := make([][]any, 0, len(algos))
 		for _, a := range algos {
@@ -173,7 +173,7 @@ func Fig4Line3Sweep(s Scale) *Table {
 		if err != nil {
 			panic(err)
 		}
-		want := core.NaiveCount(in)
+		want := oracleCount(in)
 		inSize := in.IN()
 		ly := run("yannakakis", s.job(in, want)).Load
 		l3 := run("line3", s.job(in, want)).Load
@@ -233,7 +233,7 @@ func Fig6TriangleSweep(s Scale) *Table {
 		if err != nil {
 			panic(err)
 		}
-		want := core.NaiveCount(in)
+		want := oracleCount(in)
 		inSize := in.IN()
 		lt := run("triangle", s.job(in, want)).Load
 		lb := stats.TriangleLower(inSize, want, s.P)
@@ -242,7 +242,7 @@ func Fig6TriangleSweep(s Scale) *Table {
 		if err != nil {
 			panic(err)
 		}
-		l3want := core.NaiveCount(l3in)
+		l3want := oracleCount(l3in)
 		l3 := run("line3", s.job(l3in, l3want)).Load
 		return [][]any{{fmt.Sprintf("%d", f), inSize, want, lt, lb, stats.Ratio(lt, lb), l3,
 			fmt.Sprintf("%.1fx", float64(lt)/float64(maxInt(l3, 1)))}}
@@ -272,7 +272,7 @@ func Table1Loads(s Scale) *Table {
 			if err != nil {
 				panic(err)
 			}
-			tfOut := core.NaiveCount(tf)
+			tfOut := oracleCount(tf)
 			tfB := instBound(tf)
 			l1 := run("binhc", s.job(tf, tfOut)).Load
 			l2 := run("rhier", s.job(tf, tfOut)).Load
@@ -288,7 +288,7 @@ func Table1Loads(s Scale) *Table {
 			if err != nil {
 				panic(err)
 			}
-			rhOut := core.NaiveCount(rh)
+			rhOut := oracleCount(rh)
 			rhB := instBound(rh)
 			l1 := run("binhc", s.job(rh, rhOut)).Load
 			l2 := run("rhier", s.job(rh, rhOut)).Load
@@ -302,7 +302,7 @@ func Table1Loads(s Scale) *Table {
 		// output is zero — degree statistics cannot see it, a semi-join can.
 		func(task int) [][]any {
 			rhd := gen.Q2FakeHub(s.IN/8, s.IN/2)
-			rhdOut := core.NaiveCount(rhd)
+			rhdOut := oracleCount(rhd)
 			rhdB := instBound(rhd)
 			l1 := run("binhc", s.job(rhd, rhdOut)).Load
 			reduced := s.job(rhd, rhdOut)
@@ -322,7 +322,7 @@ func Table1Loads(s Scale) *Table {
 			if err != nil {
 				panic(err)
 			}
-			l3Out := core.NaiveCount(l3in)
+			l3Out := oracleCount(l3in)
 			l3B := stats.Acyclic(l3in.IN(), l3Out, p)
 			yB := stats.Yannakakis(l3in.IN(), l3Out, p)
 			l1 := run("yannakakis", s.job(l3in, l3Out)).Load
@@ -341,7 +341,7 @@ func Table1Loads(s Scale) *Table {
 			if err != nil {
 				panic(err)
 			}
-			trOut := core.NaiveCount(tr)
+			trOut := oracleCount(tr)
 			trB := stats.TriangleWorstCase(tr.IN(), p)
 			l := run("triangle", s.job(tr, trOut)).Load
 			return [][]any{
@@ -377,7 +377,7 @@ func E5InstanceGap(s Scale) *Table {
 		if err != nil {
 			panic(err)
 		}
-		want := core.NaiveCount(in)
+		want := oracleCount(in)
 		red := core.NaiveSemiJoinReduce(in)
 		li := core.LInstance(red, p)
 		job := engine.Job{In: in, P: p, Seed: s.Seed, Want: want, CheckWant: true}

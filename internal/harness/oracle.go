@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// The naive oracle is the dominant cost of most experiment cells at large
+// IN, and the harness runs many cells over the SAME instance: every
+// (family, size, seed) cell is rebuilt deterministically from its child
+// seed, and the full matrix is rendered repeatedly (tests render it at
+// several worker counts back to back). oracleCount memoizes
+// core.NaiveCount behind a content fingerprint so each distinct instance
+// pays for the sequential join exactly once per process.
+//
+// The cache key is a 128-bit fingerprint of the instance's query shape and
+// relation contents rather than the (family, size, seed) triple that built
+// it: generators share RNG streams across builds (one stream can produce
+// several instances in sequence), so identical triples do not imply
+// identical instances — but identical contents do, and the fingerprint is
+// O(IN) to compute against the oracle's super-linear join.
+var oracleCache sync.Map // [2]uint64 → int64
+
+// oracleCount returns |Q(R)| via the memoized naive oracle.
+func oracleCount(in *core.Instance) int64 {
+	k := fingerprint(in)
+	if v, ok := oracleCache.Load(k); ok {
+		return v.(int64)
+	}
+	n := core.NaiveCount(in)
+	oracleCache.Store(k, n)
+	return n
+}
+
+// fingerprint hashes the query hypergraph and every relation's schema and
+// tuples into two independent 64-bit streams (FNV-1a and a splitmix
+// accumulator), read in deterministic order. Annotations are excluded:
+// they cannot change the join's cardinality.
+func fingerprint(in *core.Instance) [2]uint64 {
+	var f fp
+	f.word(uint64(len(in.Q.Edges)))
+	for _, e := range in.Q.Edges {
+		f.word(uint64(len(e)))
+		for _, a := range e {
+			f.word(uint64(int64(a)))
+		}
+	}
+	for _, r := range in.Rels {
+		f.word(uint64(len(r.Schema)))
+		for _, a := range r.Schema {
+			f.word(uint64(int64(a)))
+		}
+		f.word(uint64(r.Size()))
+		for _, t := range r.Tuples {
+			for _, v := range t {
+				f.word(uint64(int64(v)))
+			}
+		}
+	}
+	return [2]uint64{f.a, f.b}
+}
+
+// fp is a pair of independent streaming 64-bit hashes.
+type fp struct{ a, b uint64 }
+
+func (f *fp) word(x uint64) {
+	f.a = (f.a ^ x) * 0x100000001b3
+	f.a ^= f.a >> 29
+	f.b += x*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+	f.b ^= f.b >> 31
+	f.b *= 0x94d049bb133111eb
+}

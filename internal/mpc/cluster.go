@@ -38,6 +38,14 @@ type Cluster struct {
 	rounds [][]int // merged counts: rounds[r][s] = tuples received by server s in round r
 	shards []*Shard
 	serial *Shard // the coordinator's shard
+
+	// workerShards are the batched exchange's per-task shards, reused
+	// across rounds: routes run one at a time (the coordinator contract)
+	// and barriers zero the counters between rounds, so the shard count
+	// stays bounded by the widest exchange instead of growing per round.
+	workerShards []*Shard
+
+	exchange ExchangeStats
 }
 
 // Shard is one worker's receive counters for the cluster's open round.
@@ -68,6 +76,42 @@ func (c *Cluster) Shard() *Shard {
 	c.shards = append(c.shards, sh)
 	c.mu.Unlock()
 	return sh
+}
+
+// shardFor returns the reusable shard for exchange task slot, creating it
+// on first use. Distinct slots are owned by distinct concurrent tasks;
+// slot reuse across sequential rounds is safe because barriers fold and
+// zero the counters.
+func (c *Cluster) shardFor(slot int) *Shard {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.workerShards) <= slot {
+		sh := &Shard{counts: make([]int, c.P)}
+		c.workerShards = append(c.workerShards, sh)
+		c.shards = append(c.shards, sh)
+	}
+	return c.workerShards[slot]
+}
+
+// recordExchange accumulates the deterministic per-exchange statistics
+// from the plan's exact per-destination totals. Coordinator-only.
+func (c *Cluster) recordExchange(totals []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.exchange.Exchanges++
+	for _, n := range totals {
+		if n > 0 {
+			c.exchange.Tuples += int64(n)
+			c.exchange.ActiveDests++
+		}
+	}
+}
+
+// Exchange reports the batched exchange's counters for this cluster.
+func (c *Cluster) Exchange() ExchangeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exchange
 }
 
 // barrierLocked folds every shard's counters into the open round and zeroes
@@ -168,15 +212,28 @@ type Stats struct {
 	P         int
 	RoundMaxs []int // per-round maximum per-server load, excluding input
 	InputMax  int   // round-0 maximum
+	// Exchange carries the sub-computation's batched-exchange counters
+	// (its own plus anything already merged into it), folded into the
+	// parent by the Merge* calls.
+	Exchange ExchangeStats
 }
 
 // Snapshot extracts the cluster's statistics.
 func (c *Cluster) Snapshot() Stats {
-	s := Stats{P: c.P, InputMax: c.RoundMax(0)}
+	s := Stats{P: c.P, InputMax: c.RoundMax(0), Exchange: c.Exchange()}
 	for r := 1; r < len(c.rounds); r++ {
 		s.RoundMaxs = append(s.RoundMaxs, c.RoundMax(r))
 	}
 	return s
+}
+
+// addExchange folds a merged sub-computation's exchange counters into c's.
+func (c *Cluster) addExchange(e ExchangeStats) {
+	c.mu.Lock()
+	c.exchange.Exchanges += e.Exchanges
+	c.exchange.Tuples += e.Tuples
+	c.exchange.ActiveDests += e.ActiveDests
+	c.mu.Unlock()
 }
 
 // MergeSequential appends a sub-computation's rounds after the current ones:
@@ -194,6 +251,7 @@ func (c *Cluster) MergeSequential(sub Stats) {
 		r := c.newRound()
 		c.receive(r, 0, m)
 	}
+	c.addExchange(sub.Exchange)
 }
 
 // MergeParallel merges sibling sub-computations that ran simultaneously on
@@ -225,6 +283,9 @@ func (c *Cluster) MergeParallel(subs []Stats) {
 			}
 		}
 		c.receive(r, 0, m)
+	}
+	for _, s := range subs {
+		c.addExchange(s.Exchange)
 	}
 }
 
@@ -259,6 +320,9 @@ func (c *Cluster) MergeGrid(dims []Stats) {
 		}
 		c.receive(r, 0, sum)
 	}
+	for _, s := range dims {
+		c.addExchange(s.Exchange)
+	}
 }
 
 // Charge records a synthetic receive of n tuples on server s in a fresh
@@ -285,13 +349,15 @@ func (c *Cluster) ChargeInput(total int) {
 }
 
 // ChargeRound records synthetic receives for several servers in one shared
-// round; loads[s] tuples arrive at server s.
+// round; loads[s] tuples arrive at server s. A loads slice longer than the
+// cluster is a caller bug — silently truncating it would under-charge the
+// round — so it panics.
 func (c *Cluster) ChargeRound(loads []int) {
+	if len(loads) > c.P {
+		panic(fmt.Sprintf("mpc: ChargeRound with %d loads on %d servers", len(loads), c.P))
+	}
 	r := c.newRound()
 	for s, n := range loads {
-		if s >= c.P {
-			break
-		}
 		c.receive(r, s, n)
 	}
 }

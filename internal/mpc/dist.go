@@ -1,9 +1,8 @@
 package mpc
 
 import (
-	"fmt"
-
 	"repro/internal/relation"
+	"repro/internal/runtime"
 )
 
 // Item is a tuple with its semiring annotation (1 for plain joins).
@@ -26,14 +25,27 @@ func NewDist(c *Cluster, schema relation.Schema) *Dist {
 	return &Dist{C: c, Schema: schema, Parts: make([][]Item, c.P)}
 }
 
+// roundRobinParts pre-sizes parts for n items spread round-robin over c
+// and charges round 0 per server — the shared batched-placement plan of
+// FromRelation and MoveTo: one exact-capacity allocation per server, no
+// per-tuple charging.
+func roundRobinParts(c *Cluster, n int) [][]Item {
+	parts := make([][]Item, c.P)
+	for s := 0; s < c.P && s < n; s++ {
+		cnt := (n - s + c.P - 1) / c.P
+		parts[s] = make([]Item, 0, cnt)
+		c.input(s, cnt)
+	}
+	return parts
+}
+
 // FromRelation distributes r round-robin over the cluster, charging the
 // initial placement to round 0 (the model's starting state: IN/p each).
 func FromRelation(c *Cluster, r *relation.Relation) *Dist {
 	d := NewDist(c, r.Schema)
+	d.Parts = roundRobinParts(c, len(r.Tuples))
 	for i, t := range r.Tuples {
-		s := i % c.P
-		d.Parts[s] = append(d.Parts[s], Item{T: t, A: r.Annot(i)})
-		c.input(s, 1)
+		d.Parts[i%c.P] = append(d.Parts[i%c.P], Item{T: t, A: r.Annot(i)})
 	}
 	return d
 }
@@ -60,7 +72,9 @@ func (d *Dist) All() []Item {
 // charged: this is a test/inspection helper, not an MPC operation).
 func (d *Dist) ToRelation(name string) *relation.Relation {
 	r := relation.New(name, d.Schema)
-	r.Annots = []int64{}
+	n := d.Size()
+	r.Tuples = make([]relation.Tuple, 0, n)
+	r.Annots = make([]int64, 0, n)
 	for _, p := range d.Parts {
 		for _, it := range p {
 			r.Tuples = append(r.Tuples, it.T)
@@ -73,24 +87,6 @@ func (d *Dist) ToRelation(name string) *relation.Relation {
 // Positions resolves attrs against the schema.
 func (d *Dist) Positions(attrs []relation.Attr) []int {
 	return d.Schema.Positions(attrs)
-}
-
-// route ships items to destination servers and charges one round.
-func (d *Dist) route(schema relation.Schema, dest func(s int, it Item) []int) *Dist {
-	out := &Dist{C: d.C, Schema: schema, Parts: make([][]Item, d.C.P)}
-	r := d.C.newRound()
-	for s, part := range d.Parts {
-		for _, it := range part {
-			for _, t := range dest(s, it) {
-				if t < 0 || t >= d.C.P {
-					panic(fmt.Sprintf("mpc: route to invalid server %d", t))
-				}
-				out.Parts[t] = append(out.Parts[t], it)
-				d.C.receive(r, t, 1)
-			}
-		}
-	}
-	return out
 }
 
 // ShuffleByKey hashes each item's projection onto pos and routes it to
@@ -135,27 +131,37 @@ func (d *Dist) GatherTo(s int) *Dist {
 }
 
 // MapLocal rewrites every item locally (no communication, no new round).
-// f returns the replacement items for one input item.
+// f returns the replacement items for one input item; it must be safe for
+// concurrent calls — parts are transformed in parallel, one task per part.
 func (d *Dist) MapLocal(schema relation.Schema, f func(s int, it Item) []Item) *Dist {
 	out := &Dist{C: d.C, Schema: schema, Parts: make([][]Item, d.C.P)}
-	for s, part := range d.Parts {
-		for _, it := range part {
-			out.Parts[s] = append(out.Parts[s], f(s, it)...)
+	runtime.Fork(len(d.Parts), func(s int) {
+		part := d.Parts[s]
+		if len(part) == 0 {
+			return
 		}
-	}
+		res := make([]Item, 0, len(part))
+		for _, it := range part {
+			res = append(res, f(s, it)...)
+		}
+		out.Parts[s] = res
+	})
 	return out
 }
 
-// FilterLocal keeps items satisfying pred; local, free.
+// FilterLocal keeps items satisfying pred; local, free. pred must be safe
+// for concurrent calls — parts are filtered in parallel, one task per part.
 func (d *Dist) FilterLocal(pred func(it Item) bool) *Dist {
 	out := &Dist{C: d.C, Schema: d.Schema, Parts: make([][]Item, d.C.P)}
-	for s, part := range d.Parts {
-		for _, it := range part {
+	runtime.Fork(len(d.Parts), func(s int) {
+		var res []Item
+		for _, it := range d.Parts[s] {
 			if pred(it) {
-				out.Parts[s] = append(out.Parts[s], it)
+				res = append(res, it)
 			}
 		}
-	}
+		out.Parts[s] = res
+	})
 	return out
 }
 
@@ -178,16 +184,15 @@ func Concat(ds ...*Dist) *Dist {
 
 // MoveTo re-registers the collection on another cluster, charging the new
 // cluster's round 0 with the items as its initial input. Used when handing
-// a sub-problem to a sub-cluster; items are spread round-robin.
+// a sub-problem to a sub-cluster; items are spread round-robin through the
+// same batched placement as FromRelation.
 func (d *Dist) MoveTo(sub *Cluster) *Dist {
-	out := &Dist{C: sub, Schema: d.Schema, Parts: make([][]Item, sub.P)}
+	out := &Dist{C: sub, Schema: d.Schema, Parts: roundRobinParts(sub, d.Size())}
 	i := 0
 	for _, part := range d.Parts {
 		for _, it := range part {
-			s := i % sub.P
+			out.Parts[i%sub.P] = append(out.Parts[i%sub.P], it)
 			i++
-			out.Parts[s] = append(out.Parts[s], it)
-			sub.input(s, 1)
 		}
 	}
 	return out

@@ -12,6 +12,30 @@ type Emitter interface {
 	Emit(server int, t relation.Tuple, annot int64)
 }
 
+// A PartitionedSink is an emitter that is lock-free under the exchange's
+// per-partition ownership contract: concurrent producers are safe as long
+// as each partition (server) has exactly one. Parallel emission paths
+// discover the capability through this interface rather than enumerating
+// concrete types.
+type PartitionedSink interface {
+	Emitter
+	// Partitioned reports whether the sink accepts parts concurrent
+	// producers, one per partition.
+	Partitioned(parts int) bool
+}
+
+// A ForkingSink is an emitter that parallelizes by handing each worker its
+// own lock-free emitter and folding them back in worker order. The merge
+// must be deterministic for any grouping of the emissions (counting sinks
+// over commutative semirings are).
+type ForkingSink interface {
+	Emitter
+	// ForkWorker returns a fresh emitter owned by one worker.
+	ForkWorker() Emitter
+	// MergeWorkers folds the forked workers back, in the given order.
+	MergeWorkers(workers []Emitter)
+}
+
 // CountEmitter counts results and sums annotations (for COUNT-style
 // verification) without materializing tuples.
 type CountEmitter struct {
@@ -33,7 +57,8 @@ func (e *CountEmitter) Emit(_ int, _ relation.Tuple, annot int64) {
 
 // Merge folds the counts of per-worker counters into e. The parallel
 // pattern mirrors the cluster's shards: give every worker its own
-// CountEmitter over the same ring, then Merge them at the join point.
+// CountEmitter over the same ring (Fork), then Merge them at the join
+// point.
 func (e *CountEmitter) Merge(workers ...*CountEmitter) {
 	for _, w := range workers {
 		e.N += w.N
@@ -41,7 +66,24 @@ func (e *CountEmitter) Merge(workers ...*CountEmitter) {
 	}
 }
 
-// CollectEmitter materializes every result into a relation; test use only.
+// Fork returns a fresh per-worker counter over e's ring, to be folded back
+// with Merge.
+func (e *CountEmitter) Fork() *CountEmitter { return NewCountEmitter(e.ring) }
+
+// ForkWorker implements ForkingSink.
+func (e *CountEmitter) ForkWorker() Emitter { return e.Fork() }
+
+// MergeWorkers implements ForkingSink.
+func (e *CountEmitter) MergeWorkers(workers []Emitter) {
+	for _, w := range workers {
+		e.Merge(w.(*CountEmitter))
+	}
+}
+
+// CollectEmitter materializes every result into a relation on a single
+// goroutine: the engine and the tests use it for serial materializing
+// runs. Concurrent producers use ShardedEmitter (lock-free) or wrap a
+// CollectEmitter in Synchronized (one mutex).
 type CollectEmitter struct {
 	Rel *relation.Relation
 }
@@ -77,6 +119,10 @@ func (e *PerServerCounter) Emit(server int, _ relation.Tuple, _ int64) {
 	}
 }
 
+// Partitioned implements PartitionedSink: Emit only touches
+// Counts[server], so one producer per server is race-free.
+func (e *PerServerCounter) Partitioned(parts int) bool { return len(e.Counts) >= parts }
+
 // Merge adds per-worker counters into e; the slices must be equal length.
 func (e *PerServerCounter) Merge(workers ...*PerServerCounter) {
 	for _, w := range workers {
@@ -86,10 +132,75 @@ func (e *PerServerCounter) Merge(workers ...*PerServerCounter) {
 	}
 }
 
+// ShardedEmitter materializes results into per-partition buffers: the
+// producer owning partition s (usually server s of the cluster) appends to
+// buffer s without any lock, because no other producer touches it. The
+// merged relation is assembled in partition order with the emission order
+// preserved inside each partition, so the result is byte-identical for
+// every worker count — including a single goroutine emitting partitions in
+// order, which makes ShardedEmitter a drop-in for CollectEmitter in serial
+// runs. This is what lets materializing runs drop Synchronized's mutex.
+type ShardedEmitter struct {
+	schema relation.Schema
+	parts  [][]Item
+}
+
+// NewShardedEmitter returns a sharded collector over the given output
+// schema with one buffer per partition (one per server of the emitting
+// cluster).
+func NewShardedEmitter(schema relation.Schema, parts int) *ShardedEmitter {
+	if parts < 1 {
+		parts = 1
+	}
+	return &ShardedEmitter{schema: schema, parts: make([][]Item, parts)}
+}
+
+// Emit implements Emitter. Concurrent calls are safe if and only if each
+// partition has a single producer — the exchange's disjoint-ownership
+// contract.
+func (e *ShardedEmitter) Emit(server int, t relation.Tuple, annot int64) {
+	if server < 0 || server >= len(e.parts) {
+		panic("mpc: ShardedEmitter partition out of range")
+	}
+	e.parts[server] = append(e.parts[server], Item{T: t.Clone(), A: annot})
+}
+
+// Partitions reports the number of buffers.
+func (e *ShardedEmitter) Partitions() int { return len(e.parts) }
+
+// Partitioned implements PartitionedSink.
+func (e *ShardedEmitter) Partitioned(parts int) bool { return len(e.parts) >= parts }
+
+// N returns the total number of emitted results across partitions.
+func (e *ShardedEmitter) N() int64 {
+	n := int64(0)
+	for _, p := range e.parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// Rel merges the buffers into one relation, partition-major.
+func (e *ShardedEmitter) Rel() *relation.Relation {
+	r := relation.New("out", e.schema)
+	n := e.N()
+	r.Tuples = make([]relation.Tuple, 0, n)
+	r.Annots = make([]int64, 0, n)
+	for _, p := range e.parts {
+		for _, it := range p {
+			r.Tuples = append(r.Tuples, it.T)
+			r.Annots = append(r.Annots, it.A)
+		}
+	}
+	return r
+}
+
 // SyncEmitter serializes emissions with a mutex, making any Emitter —
 // in particular materializing ones like CollectEmitter — safe for
-// concurrent emitters. Counting emitters should prefer per-worker
-// emitters merged at the barrier, which stay lock-free on the hot path.
+// concurrent emitters sharing it across partitions. Counting emitters
+// should prefer per-worker emitters merged at the barrier, and
+// materializing runs with per-partition producers should prefer
+// ShardedEmitter; both stay lock-free on the hot path.
 type SyncEmitter struct {
 	mu    sync.Mutex
 	Inner Emitter

@@ -1,0 +1,247 @@
+package mpc
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/runtime"
+)
+
+// The batched exchange: every routing operation on a Dist — shuffles,
+// replication, broadcast, gather — runs as a two-phase plan/scatter
+// protocol instead of a tuple-at-a-time append loop.
+//
+//  1. Plan (count). The source parts are cut into contiguous spans, one
+//     per worker task. Each task walks its span once, resolves every
+//     item's destination list exactly once, and records the flattened
+//     destinations in (source, item, fan-out) order, the per-item fan-out,
+//     and a dense per-destination item count. No output memory is touched.
+//  2. Scatter. The coordinator sums the per-task counts into exact
+//     per-destination totals, allocates every destination part once at
+//     exact capacity, and derives each task's first write offset per
+//     destination (prefix sums in task order). Tasks then re-walk their
+//     spans and write items into disjoint, pre-sized slices — no locks, no
+//     growth reallocation — and charge their deliveries to their own
+//     Cluster.Shard, folded at the next round barrier.
+//
+// The output is byte-identical to the serial tuple-at-a-time loop for
+// every worker count: spans are contiguous in source order and offsets are
+// prefix sums in span order, so destination parts hold items in exactly
+// the serial (source, item, fan-out) order. runtime.SetParallelism(1) is
+// the reference execution.
+//
+// The dest callback must be safe for concurrent calls (a pure function of
+// its arguments); every dest function in this repository is.
+
+// exchangeSerialBelow is the item count under which an exchange skips
+// multi-task planning: the plan is identical, only the task count changes,
+// and the output is byte-identical either way.
+const exchangeSerialBelow = 1 << 12
+
+// ExchangeStats counts the work done by the batched exchange on one
+// cluster. All values are deterministic: they depend on the routed data
+// only, never on the worker count.
+type ExchangeStats struct {
+	// Exchanges is the number of routed rounds executed.
+	Exchanges int
+	// Tuples is the total number of items delivered across all exchanges
+	// (a broadcast of n items to p servers counts n·p).
+	Tuples int64
+	// ActiveDests sums, over exchanges, the number of servers that
+	// received at least one item.
+	ActiveDests int64
+}
+
+// span is a contiguous run of items owned by one task, in global
+// (source-part, item) order: items [loOff:] of part lo, parts lo+1…hi−2 in
+// full, and items [:hiOff] of part hi−1 (all of one part when lo == hi−1).
+// Cuts land at item granularity, not part granularity, so a skewed
+// distribution concentrated in one part still fans out across tasks.
+type span struct {
+	lo, hi       int // source parts [lo, hi)
+	loOff, hiOff int // item offsets into parts lo and hi−1
+}
+
+// each walks the span's items, handing fn each covered source index with
+// its covered slice, in order.
+func (sp span) each(parts [][]Item, fn func(s int, items []Item)) {
+	for s := sp.lo; s < sp.hi; s++ {
+		items := parts[s]
+		start, end := 0, len(items)
+		if s == sp.lo {
+			start = sp.loOff
+		}
+		if s == sp.hi-1 {
+			end = sp.hiOff
+		}
+		if start < end {
+			fn(s, items[start:end])
+		}
+	}
+}
+
+// exchangePlan is the counting pass of one exchange.
+type exchangePlan struct {
+	p      int
+	spans  []span
+	dests  [][]int32 // per task: flat destinations in (source, item, fan-out) order
+	fans   [][]int32 // per task: destinations per item, in (source, item) order
+	counts [][]int32 // per task: dense per-destination item counts, len p
+	totals []int     // per destination: Σ over tasks
+	bases  [][]int32 // per task: first write offset per destination
+}
+
+// planSpans cuts the source items into at most tasks contiguous spans of
+// near-equal size (the first total%tasks spans carry one extra item).
+// Spans partition the items in global (source, item) order, so the
+// scatter's concatenation order — and therefore the output — is the same
+// for every task count.
+func planSpans(parts [][]Item, tasks int) []span {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if tasks > total {
+		tasks = total
+	}
+	if tasks < 1 {
+		tasks = 1
+	}
+	if total == 0 {
+		return []span{{lo: 0, hi: len(parts)}}
+	}
+	per, rem := total/tasks, total%tasks
+	spans := make([]span, 0, tasks)
+	s, off := 0, 0
+	for w := 0; w < tasks; w++ {
+		want := per
+		if w < rem {
+			want++
+		}
+		sp := span{lo: s, loOff: off}
+		for want > 0 {
+			avail := len(parts[s]) - off
+			if avail == 0 {
+				s, off = s+1, 0
+				continue
+			}
+			take := want
+			if take > avail {
+				take = avail
+			}
+			off += take
+			want -= take
+		}
+		sp.hi, sp.hiOff = s+1, off
+		spans = append(spans, sp)
+		if off == len(parts[s]) {
+			s, off = s+1, 0
+		}
+	}
+	return spans
+}
+
+// newExchangePlan runs the counting pass over d with the given task count.
+func newExchangePlan(d *Dist, dest func(s int, it Item) []int, tasks int) *exchangePlan {
+	p := d.C.P
+	plan := &exchangePlan{p: p, spans: planSpans(d.Parts, tasks)}
+	n := len(plan.spans)
+	plan.dests = make([][]int32, n)
+	plan.fans = make([][]int32, n)
+	plan.counts = make([][]int32, n)
+	runtime.Fork(n, func(w int) {
+		sp := plan.spans[w]
+		cnt := make([]int32, p)
+		items := 0
+		sp.each(d.Parts, func(_ int, chunk []Item) { items += len(chunk) })
+		flat := make([]int32, 0, items) // fan-out is 1 in the common case
+		fan := make([]int32, 0, items)
+		sp.each(d.Parts, func(s int, chunk []Item) {
+			for _, it := range chunk {
+				ts := dest(s, it)
+				for _, t := range ts {
+					if t < 0 || t >= p {
+						panic(fmt.Sprintf("mpc: route to invalid server %d", t))
+					}
+					flat = append(flat, int32(t))
+					cnt[t]++
+				}
+				fan = append(fan, int32(len(ts)))
+			}
+		})
+		plan.dests[w] = flat
+		plan.fans[w] = fan
+		plan.counts[w] = cnt
+	})
+	return plan
+}
+
+// alloc sums the per-task counts into exact destination capacities,
+// allocates out's parts once, and derives each task's write offsets.
+func (plan *exchangePlan) alloc(out *Dist) {
+	plan.totals = make([]int, plan.p)
+	plan.bases = make([][]int32, len(plan.spans))
+	for w := range plan.spans {
+		base := make([]int32, plan.p)
+		for t, n := range plan.counts[w] {
+			base[t] = int32(plan.totals[t])
+			plan.totals[t] += int(n)
+		}
+		plan.bases[w] = base
+	}
+	for t, n := range plan.totals {
+		if n > 0 {
+			out.Parts[t] = make([]Item, n)
+		}
+	}
+}
+
+// scatter fans the items out into out's pre-sized parts. Task w writes the
+// half-open offset ranges [bases[w][t], bases[w][t]+counts[w][t]) — disjoint
+// across tasks by construction — and charges its deliveries to its own
+// cluster shard.
+func (plan *exchangePlan) scatter(d, out *Dist) {
+	runtime.Fork(len(plan.spans), func(w int) {
+		sp := plan.spans[w]
+		cursor := make([]int32, plan.p)
+		copy(cursor, plan.bases[w])
+		flat, fan := plan.dests[w], plan.fans[w]
+		di, fi := 0, 0
+		sp.each(d.Parts, func(_ int, chunk []Item) {
+			for _, it := range chunk {
+				k := int(fan[fi])
+				fi++
+				for j := 0; j < k; j++ {
+					t := flat[di]
+					di++
+					out.Parts[t][cursor[t]] = it
+					cursor[t]++
+				}
+			}
+		})
+		sh := d.C.shardFor(w)
+		for t, n := range plan.counts[w] {
+			if n > 0 {
+				sh.Receive(t, int(n))
+			}
+		}
+	})
+}
+
+// route ships items to destination servers and charges one round through
+// the batched exchange (see the protocol comment above).
+func (d *Dist) route(schema relation.Schema, dest func(s int, it Item) []int) *Dist {
+	c := d.C
+	out := &Dist{C: c, Schema: schema, Parts: make([][]Item, c.P)}
+	c.newRound()
+
+	tasks := runtime.Parallelism()
+	if d.Size() < exchangeSerialBelow {
+		tasks = 1
+	}
+	plan := newExchangePlan(d, dest, tasks)
+	plan.alloc(out)
+	plan.scatter(d, out)
+	c.recordExchange(plan.totals)
+	return out
+}

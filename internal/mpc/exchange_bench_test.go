@@ -1,0 +1,72 @@
+package mpc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// BenchmarkRoute vs BenchmarkExchange: the old tuple-at-a-time route
+// (serialRouteRef, kept verbatim in exchange_test.go) against the batched
+// plan/scatter exchange, on the same inputs and routing shapes. Run them
+// with `make bench` (counted, benchstat-friendly):
+//
+//	benchstat <(old) <(new)   # or compare the Route/Exchange rows directly
+//
+// The batched plane must win on allocations (destination parts are
+// allocated once at exact capacity) and ns/op at IN ≥ 10^5.
+
+const benchP = 64
+
+func benchShapes(p int) []struct {
+	name string
+	dest func(s int, it Item) []int
+} {
+	return []struct {
+		name string
+		dest func(s int, it Item) []int
+	}{
+		{"shuffle", func(_ int, it Item) []int {
+			return []int{int(Hash64(relation.KeyAt(it.T, []int{0}), 7) % uint64(p))}
+		}},
+		{"replicate2", func(_ int, it Item) []int {
+			v := int(it.T[1])
+			return []int{v % p, (v*7 + 1) % p}
+		}},
+	}
+}
+
+func benchExchangeDist(b *testing.B, n int) *Dist {
+	b.Helper()
+	c := NewCluster(benchP)
+	return exchangeTestDist(c, n, 42)
+}
+
+func BenchmarkRoute(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 17} {
+		d := benchExchangeDist(b, n)
+		for _, shape := range benchShapes(benchP) {
+			b.Run(fmt.Sprintf("%s/n=%d", shape.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					serialRouteRef(d, d.Schema, shape.dest)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkExchange(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 17} {
+		d := benchExchangeDist(b, n)
+		for _, shape := range benchShapes(benchP) {
+			b.Run(fmt.Sprintf("%s/n=%d", shape.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d.route(d.Schema, shape.dest)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package runtime
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// The data plane: Fork is the bounded parallel-for the simulator's inner
+// loops run on — the exchange's scatter workers, RHier's per-heavy-group
+// sub-clusters, the oracle's hash-join probe, the per-server local joins.
+//
+// Where Pool shards the experiment matrix (the control plane, one task per
+// experiment cell), Fork shards the loops inside one cell. Both planes draw
+// real parallelism from the same machine, so both are counted in a single
+// process-wide token bucket: Pool workers hold a token each for their
+// lifetime, and a Fork that finds no free token runs its task inline on
+// the caller. A saturated control plane therefore runs the data plane
+// inline (the cells themselves are the parallelism), nested forks (a
+// recursion that forks at every level) are deadlock-free, and the total
+// busy goroutine count stays O(max(pool width, Parallelism())) no matter
+// how deep the nesting.
+//
+// Every user of Fork writes results into per-task slots (slices indexed by
+// task) and merges them in task order, so the result bytes are identical
+// for every parallelism width — including 1, which runs the exact serial
+// loop. SetParallelism(1) is therefore the reference execution.
+
+// dataWidth is the configured data-plane width; 0 selects GOMAXPROCS.
+var dataWidth atomic.Int64
+
+// SetParallelism fixes the data-plane width: the maximum number of
+// goroutines Fork may have in flight process-wide. n ≤ 0 restores the
+// default (GOMAXPROCS). It returns the previous setting (0 = default) so
+// tests can restore it.
+func SetParallelism(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(dataWidth.Swap(int64(n)))
+}
+
+// Parallelism reports the current data-plane width.
+func Parallelism() int {
+	if w := dataWidth.Load(); w > 0 {
+		return int(w)
+	}
+	return stdruntime.GOMAXPROCS(0)
+}
+
+// forkTokens counts worker goroutines in flight across the whole process:
+// Fork's spawned workers and Pool's cell workers alike.
+var forkTokens atomic.Int64
+
+// reserveWorker counts a long-lived worker (a Pool goroutine) in the
+// process-wide budget; releaseWorker returns the token. Unconditional:
+// the control plane's width is the user's explicit choice.
+func reserveWorker() { forkTokens.Add(1) }
+func releaseWorker() { forkTokens.Add(-1) }
+
+// acquireToken reserves one extra worker if the process-wide budget allows.
+// The budget is width−1: the calling goroutine is always the width-th
+// worker, so a width of 1 never spawns.
+func acquireToken(width int) bool {
+	limit := int64(width - 1)
+	for {
+		cur := forkTokens.Load()
+		if cur >= limit {
+			return false
+		}
+		if forkTokens.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// Fork runs fn(task) for every task in [0, n) and returns when all have
+// finished. Tasks run on the caller plus up to Parallelism()−1 spawned
+// goroutines (process-wide, shared with every other Fork in flight);
+// with no token available the whole loop runs inline, byte-identical to
+// the serial execution. Tasks are claimed from an atomic counter, so which
+// goroutine runs which task is scheduling-dependent — callers must write
+// results into per-task slots. A panicking task stops further claims and
+// the first panic is re-raised on the caller once every in-flight task has
+// drained, with the failing task's index and stack attached.
+func Fork(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	width := Parallelism()
+	if width > n {
+		width = n
+	}
+	spawned := 0
+	for spawned < width-1 && acquireToken(width) {
+		spawned++
+	}
+	if spawned == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	worker := func() {
+		for !stop.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						stop.Store(true)
+						panicMu.Lock()
+						if panicV == nil {
+							panicV = fmt.Sprintf("runtime: forked task %d panicked: %v\n%s",
+								i, r, debug.Stack())
+						}
+						panicMu.Unlock()
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	wg.Add(spawned)
+	for g := 0; g < spawned; g++ {
+		go func() {
+			defer wg.Done()
+			defer forkTokens.Add(-1)
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}

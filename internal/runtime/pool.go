@@ -69,8 +69,13 @@ func (p *Pool) Each(n int, fn func(task int)) {
 	)
 	wg.Add(w)
 	for g := 0; g < w; g++ {
+		// Pool workers hold a data-plane token each, so Forks inside
+		// cells see a saturated bucket and run inline instead of
+		// oversubscribing the machine (see fork.go).
+		reserveWorker()
 		go func() {
 			defer wg.Done()
+			defer releaseWorker()
 			for !stop.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
