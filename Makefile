@@ -1,8 +1,11 @@
 GO ?= go
 
 # bench knobs: BENCH filters the benchmark set, COUNT is the number of
-# counted runs (benchstat wants ≥ 6 to report significance).
-BENCH ?= BenchmarkExchange|BenchmarkRoute
+# counted runs (benchstat wants ≥ 6 to report significance). The counted
+# family pairs each parallel data-plane path with its retained serial
+# reference: Exchange/Route, SampleSort/SerialSortRef, plus Lookup
+# end-to-end over the sample sort.
+BENCH ?= BenchmarkExchange|BenchmarkRoute|BenchmarkSampleSort|BenchmarkSerialSortRef|BenchmarkLookup|BenchmarkMicro_SemiJoin
 COUNT ?= 6
 
 .PHONY: ci fmt vet build test race smoke bench bench-all bench-smoke experiments
@@ -57,10 +60,10 @@ bench:
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# bench-smoke compiles and runs every exchange benchmark once; keeps the
+# bench-smoke compiles and runs every counted benchmark once; keeps the
 # benchmark surface from rotting without paying for counted runs.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime 1x ./internal/mpc
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime 1x . ./internal/mpc ./internal/primitives
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -20,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
+	"repro/internal/primitives"
 	"repro/internal/runtime"
 )
 
@@ -418,6 +419,22 @@ func BenchmarkMicro_FullReduce(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := mpc.NewCluster(s.P)
 		dists := core.LoadInstance(c, in)
-		core.FullReduce(in, dists, s.Seed)
+		core.FullReduce(in, dists)
+	}
+}
+
+// BenchmarkMicro_SemiJoin drives the skew-sensitive primitives end-to-end
+// from the top layer: DistinctByKey + Lookup, both riding the parallel
+// sample sort (internal/primitives/samplesort.go). The counted pair lives
+// in internal/primitives (BenchmarkSampleSort vs BenchmarkSerialSortRef).
+func BenchmarkMicro_SemiJoin(b *testing.B) {
+	s := benchScale()
+	rng := mpc.NewRng(s.Seed)
+	in := gen.LineKUniform(rng, 2, s.IN, 64)
+	shared := in.Rels[0].Schema.Intersect(in.Rels[1].Schema)
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(s.P)
+		dists := core.LoadInstance(c, in)
+		primitives.SemiJoin(dists[0], shared, dists[1], shared)
 	}
 }

@@ -37,7 +37,7 @@ func AcyclicJoin(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc
 	}
 	outSchema := in.OutputSchema()
 	dists := LoadInstance(c, in)
-	dists = FullReduce(in, dists, seed^0x1000)
+	dists = FullReduce(in, dists)
 	out := CountOutputDists(in.Q, dists, seed^0x2000)
 	if out == 0 {
 		return mpc.NewDist(c, outSchema)
@@ -146,7 +146,7 @@ func acyclicRec(c *mpc.Cluster, edges []hypergraph.AttrSet, dists []*mpc.Dist,
 			if heavyC[h].Size() == 0 {
 				continue
 			}
-			r0 := primitives.SemiJoin(work[e0], si[h], heavyC[h], si[h], pseed^0x1)
+			r0 := primitives.SemiJoin(work[e0], si[h], heavyC[h], si[h])
 			// R' = R'(e0) ⋈ (other pattern children) ⋈ (⋈ eBar).
 			sub := []*mpc.Dist{r0}
 			subEdges := []hypergraph.AttrSet{edges[e0]}
@@ -269,7 +269,7 @@ func subJoin(edges []hypergraph.AttrSet, dists []*mpc.Dist, ring relation.Semiri
 	}
 	q := hypergraph.New(edges...)
 	inst := &Instance{Q: q, Rels: relsOf(q, dists), Ring: ring}
-	red := FullReduce(inst, dists, seed^0xabc)
+	red := FullReduce(inst, dists)
 	order := DefaultJoinOrder(q)
 	acc := red[order[0]]
 	for i := 1; i < len(order); i++ {

@@ -47,7 +47,7 @@ func linearAggroDists(q *hypergraph.Hypergraph, dists []*mpc.Dist, y hypergraph.
 	// Preprocessing: remove dangling tuples, then reduce the hypergraph;
 	// an absorbed edge's annotations are ⊗-merged into its host (the
 	// paper replaces R(e') with R(e) ⋈ R(e') before discarding R(e)).
-	dists = FullReduce(&Instance{Q: q, Rels: relsOf(q, dists)}, dists, seed^0xa99)
+	dists = FullReduce(&Instance{Q: q, Rels: relsOf(q, dists)}, dists)
 	reduced, host := q.Reduce()
 	rdists := make([]*mpc.Dist, len(reduced.Edges))
 	for i := range q.Edges {

@@ -35,7 +35,7 @@ func Line3WithTau(c *mpc.Cluster, in *Instance, tauOverride int64, seed uint64, 
 	b, _ := line3Attrs(in)
 
 	dists := LoadInstance(c, in)
-	dists = FullReduce(in, dists, seed^0x100)
+	dists = FullReduce(in, dists)
 	r1, r2, r3 := dists[0], dists[1], dists[2]
 
 	out := CountOutputDists(in.Q, dists, seed^0x200)

@@ -130,8 +130,8 @@ func TestPropertyFullReduceIdempotent(t *testing.T) {
 		in := randInstance(rng, hypergraph.LineK(4), 25, 4)
 		c := mpc.NewCluster(4)
 		dists := LoadInstance(c, in)
-		once := FullReduce(in, dists, 1)
-		twice := FullReduce(in, once, 2)
+		once := FullReduce(in, dists)
+		twice := FullReduce(in, once)
 		for i := range once {
 			if !sameResults(canonical(once[i].ToRelation("a")), canonical(twice[i].ToRelation("b"))) {
 				return false

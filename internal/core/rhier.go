@@ -56,7 +56,7 @@ func RHier(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist 
 	}
 	outSchema := in.OutputSchema()
 	dists := LoadInstance(c, in)
-	dists = FullReduce(in, dists, seed^0x6000)
+	dists = FullReduce(in, dists)
 	rels := materialize(dists)
 
 	// L = IN/p + L_instance(p, R), computed from the reduced instance
@@ -86,7 +86,7 @@ func BinHC(c *mpc.Cluster, in *Instance, seed uint64, removeDangling bool, em mp
 	outSchema := in.OutputSchema()
 	dists := LoadInstance(c, in)
 	if removeDangling {
-		dists = FullReduce(in, dists, seed^0x6100)
+		dists = FullReduce(in, dists)
 	}
 	rels := materialize(dists)
 	chargeLinear(c, in.IN())
@@ -278,27 +278,39 @@ func hierCase2(sub *mpc.Cluster, active []*relation.Relation, fixed hypergraph.A
 	if total > 1<<22 {
 		panic("core: hierCase2 grid exploded — allocation bug")
 	}
-	coord := make([]int, k)
-	for cell := 0; cell < total; cell++ {
-		c := cell
-		for i := k - 1; i >= 0; i-- {
-			coord[i] = c % dims[i]
-			c /= dims[i]
-		}
-		srv := cell % sub.P
-		crossEmit(out, srv, slices, coord, ring)
+	// Residue-class grid parallelism: cell → server is cell mod P, so the
+	// cells of one residue class all write the same output part. Forking
+	// one task per class keeps the writes disjoint without breaking the
+	// cells→servers mapping, and each class walks its cells in increasing
+	// cell order — exactly the serial emission order within every part, so
+	// the output is byte-identical for every data-plane width.
+	classes := sub.P
+	if total < classes {
+		classes = total
 	}
+	pos := make([][]int, k) // destination positions per slice column, cell-invariant
+	for i, sl := range slices {
+		pos[i] = out.Schema.Positions([]relation.Attr(sl.Schema))
+	}
+	runtime.Fork(classes, func(r int) {
+		coord := make([]int, k)
+		for cell := r; cell < total; cell += sub.P {
+			c := cell
+			for i := k - 1; i >= 0; i-- {
+				coord[i] = c % dims[i]
+				c /= dims[i]
+			}
+			crossEmit(out, r, slices, pos, coord, ring)
+		}
+	})
 	return out
 }
 
 // crossEmit appends the cross product of slices[i].Parts[coord[i]] to
-// out.Parts[srv], merging columns by attribute.
-func crossEmit(out *mpc.Dist, srv int, slices []*mpc.Dist, coord []int, ring relation.Semiring) {
+// out.Parts[srv], merging columns by attribute; pos[i] maps slice i's
+// columns to out.Schema positions (hoisted — it does not depend on coord).
+func crossEmit(out *mpc.Dist, srv int, slices []*mpc.Dist, pos [][]int, coord []int, ring relation.Semiring) {
 	k := len(slices)
-	pos := make([][]int, k) // destination positions per slice column
-	for i, sl := range slices {
-		pos[i] = out.Schema.Positions([]relation.Attr(sl.Schema))
-	}
 	choice := make([]int, k)
 	for {
 		ok := true

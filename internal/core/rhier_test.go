@@ -2,11 +2,13 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
 	"repro/internal/relation"
+	"repro/internal/runtime"
 )
 
 var rhierQueries = []*hypergraph.Hypergraph{
@@ -156,6 +158,64 @@ func TestRHierCartesianInterleaving(t *testing.T) {
 	if int64(c.MaxLoad()) > 8*bound {
 		t.Errorf("grid load %d exceeds 8×bound %d (two-step would pay ~%d)",
 			c.MaxLoad(), 8*bound, nIN)
+	}
+}
+
+// TestRHierGridDeterministicAcrossWidths pins the residue-class grid
+// emission: hierCase2 forks one task per cell residue class, and the
+// emitted parts, the collected relation, and the cluster charges must be
+// byte-identical to the serial walk at every data-plane width.
+func TestRHierGridDeterministicAcrossWidths(t *testing.T) {
+	const p, nIN = 8, 96
+	q := hypergraph.New(
+		hypergraph.NewAttrSet(1),    // R0(x1): single tuple
+		hypergraph.NewAttrSet(2, 3), // R1(A,B)
+		hypergraph.NewAttrSet(3, 4), // R2(B,C)
+	)
+	build := func() *Instance {
+		r0 := relation.New("R0", relation.NewSchema(1))
+		r0.Add(42)
+		r1 := relation.New("R1", relation.NewSchema(2, 3))
+		for i := 0; i < nIN; i++ {
+			r1.Add(relation.Value(i), 0)
+		}
+		r2 := relation.New("R2", relation.NewSchema(3, 4))
+		for i := 0; i < 3*p; i++ {
+			r2.Add(0, relation.Value(i))
+		}
+		return NewInstance(q, r0, r1, r2)
+	}
+
+	type run struct {
+		parts [][]mpc.Item
+		rel   *relation.Relation
+		stats mpc.Stats
+	}
+	runAt := func(width int) run {
+		prev := runtime.SetParallelism(width)
+		defer runtime.SetParallelism(prev)
+		in := build()
+		c := mpc.NewCluster(p)
+		em := mpc.NewCollectEmitter(in.OutputSchema())
+		res := RHier(c, in, 1, em)
+		return run{parts: res.Parts, rel: em.Rel, stats: c.Snapshot()}
+	}
+
+	ref := runAt(1)
+	if ref.rel.Size() == 0 {
+		t.Fatal("grid instance produced no output")
+	}
+	for _, width := range []int{2, 8} {
+		got := runAt(width)
+		if !reflect.DeepEqual(ref.parts, got.parts) {
+			t.Fatalf("width %d: result parts differ from serial", width)
+		}
+		if !reflect.DeepEqual(ref.rel.Tuples, got.rel.Tuples) || !reflect.DeepEqual(ref.rel.Annots, got.rel.Annots) {
+			t.Fatalf("width %d: emitted relation differs from serial", width)
+		}
+		if !reflect.DeepEqual(ref.stats, got.stats) {
+			t.Fatalf("width %d: charges differ:\nref %+v\ngot %+v", width, ref.stats, got.stats)
+		}
 	}
 }
 

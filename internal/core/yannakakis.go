@@ -22,28 +22,29 @@ func LoadInstance(c *mpc.Cluster, in *Instance) []*mpc.Dist {
 
 // FullReduce removes all dangling tuples with a full reducer over the join
 // tree: one bottom-up and one top-down semi-join pass [34]. O(1) rounds,
-// linear load. It panics on cyclic queries.
-func FullReduce(in *Instance, dists []*mpc.Dist, seed uint64) []*mpc.Dist {
+// linear load. It panics on cyclic queries. Fully deterministic: the
+// semi-joins sort, they do not hash, so no seed is taken.
+func FullReduce(in *Instance, dists []*mpc.Dist) []*mpc.Dist {
 	tree, ok := in.Q.GYO()
 	if !ok {
 		panic("core: FullReduce on cyclic query")
 	}
 	out := make([]*mpc.Dist, len(dists))
 	copy(out, dists)
-	semi := func(x, d *mpc.Dist, salt uint64) *mpc.Dist {
+	semi := func(x, d *mpc.Dist) *mpc.Dist {
 		shared := x.Schema.Intersect(d.Schema)
 		if len(shared) == 0 {
 			return x
 		}
-		return primitives.SemiJoin(x, shared, d, shared, salt)
+		return primitives.SemiJoin(x, shared, d, shared)
 	}
 	// Bottom-up: parents shed tuples with no support below.
-	for i, u := range tree.RemovalOrder {
+	for _, u := range tree.RemovalOrder {
 		p := tree.Parent[u]
 		if p < 0 {
 			continue
 		}
-		out[p] = semi(out[p], out[u], seed+uint64(i))
+		out[p] = semi(out[p], out[u])
 	}
 	// Top-down: children shed tuples with no support above.
 	for i := len(tree.RemovalOrder) - 1; i >= 0; i-- {
@@ -52,7 +53,7 @@ func FullReduce(in *Instance, dists []*mpc.Dist, seed uint64) []*mpc.Dist {
 		if p < 0 {
 			continue
 		}
-		out[u] = semi(out[u], out[p], seed+uint64(1000+i))
+		out[u] = semi(out[u], out[p])
 	}
 	return out
 }
@@ -90,7 +91,7 @@ func Yannakakis(c *mpc.Cluster, in *Instance, order []int, seed uint64, em mpc.E
 		panic(fmt.Sprintf("core: join order has %d entries for %d relations", len(order), len(in.Rels)))
 	}
 	dists := LoadInstance(c, in)
-	dists = FullReduce(in, dists, seed)
+	dists = FullReduce(in, dists)
 	acc := dists[order[0]]
 	for i := 1; i < len(order); i++ {
 		acc = BinaryJoin(acc, dists[order[i]], in.Ring, seed+uint64(7*i), nil)

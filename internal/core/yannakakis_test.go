@@ -78,7 +78,7 @@ func TestFullReduceMatchesNaive(t *testing.T) {
 		in := randInstance(rng, hypergraph.Line3(), 30, 6)
 		c := mpc.NewCluster(1 + rng.Intn(8))
 		dists := LoadInstance(c, in)
-		red := FullReduce(in, dists, uint64(trial))
+		red := FullReduce(in, dists)
 		want := NaiveSemiJoinReduce(in)
 		for i := range red {
 			relEqual(t, red[i].ToRelation("got"), want.Rels[i])

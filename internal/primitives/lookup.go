@@ -43,6 +43,12 @@ func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr
 			recs = append(recs, rec{key: k, tag: 0, it: it})
 		}
 	}
+	// An empty probe side has an empty result; a trivially-empty sub-query
+	// must not pay the sort and coordinator rounds. Checked only after the
+	// directory scan above, so a malformed directory still panics.
+	if x.Size() == 0 {
+		return mpc.NewDist(x.C, outSchema)
+	}
 	for _, part := range x.Parts {
 		for _, it := range part {
 			recs = append(recs, rec{key: relation.KeyAt(it.T, xPos), tag: 1, it: it})
@@ -89,8 +95,15 @@ func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr
 
 // SemiJoin returns the items of x whose key projection matches at least one
 // item of d (R1 ⋉ R2 in the paper's Section 2). d may contain duplicates;
-// it is first reduced to one entry per key.
-func SemiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr, salt uint64) *mpc.Dist {
+// it is first reduced to one entry per key. The sort underneath is
+// splitter-based but deterministic (stride sampling, no RNG), so no salt
+// is needed — the parameter the old hash-based sketches reserved is gone.
+func SemiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr) *mpc.Dist {
+	// An empty probe side is empty output; don't pay for sorting the
+	// directory either.
+	if x.Size() == 0 {
+		return mpc.NewDist(x.C, x.Schema)
+	}
 	dir := DistinctByKey(d, dKey)
 	return Lookup(x, xKey, dir, dKey, x.Schema,
 		func(it mpc.Item, r LookupResult) (mpc.Item, bool) {
@@ -99,7 +112,10 @@ func SemiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.At
 }
 
 // AntiJoin returns the items of x with no matching key in d.
-func AntiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr, salt uint64) *mpc.Dist {
+func AntiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr) *mpc.Dist {
+	if x.Size() == 0 {
+		return mpc.NewDist(x.C, x.Schema)
+	}
 	dir := DistinctByKey(d, dKey)
 	return Lookup(x, xKey, dir, dKey, x.Schema,
 		func(it mpc.Item, r LookupResult) (mpc.Item, bool) {
@@ -128,6 +144,9 @@ func AttachAnnot(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation
 func DistinctByKey(d *mpc.Dist, keyAttrs []relation.Attr) *mpc.Dist {
 	pos := d.Positions(keyAttrs)
 	schema := relation.NewSchema(keyAttrs...)
+	if d.Size() == 0 {
+		return mpc.NewDist(d.C, schema)
+	}
 	// Local dedup first (combiner): at most one record per (server, key).
 	recs := make([]rec, 0, d.Size())
 	for _, part := range d.Parts {

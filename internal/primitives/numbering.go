@@ -16,6 +16,9 @@ import (
 func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.Attr) *mpc.Dist {
 	pos := d.Positions(keyAttrs)
 	outSchema := append(append(relation.Schema{}, d.Schema...), numberAttr)
+	if d.Size() == 0 {
+		return mpc.NewDist(d.C, outSchema)
+	}
 
 	recs := make([]rec, 0, d.Size())
 	for _, part := range d.Parts {

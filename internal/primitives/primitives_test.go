@@ -143,6 +143,24 @@ func TestLookupDuplicateDirectoryPanics(t *testing.T) {
 		func(it mpc.Item, r LookupResult) (mpc.Item, bool) { return it, true })
 }
 
+func TestLookupDuplicateDirectoryPanicsOnEmptyProbe(t *testing.T) {
+	// The empty-probe short-circuit must not skip the directory contract:
+	// a malformed directory panics even when there is nothing to look up.
+	c := mpc.NewCluster(2)
+	d := relation.New("D", relation.NewSchema(1))
+	d.Add(1)
+	d.Add(1)
+	dd := mpc.FromRelation(c, d)
+	empty := mpc.NewDist(c, relation.NewSchema(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate directory key with empty probe did not panic")
+		}
+	}()
+	Lookup(empty, []relation.Attr{1}, dd, []relation.Attr{1}, empty.Schema,
+		func(it mpc.Item, r LookupResult) (mpc.Item, bool) { return it, true })
+}
+
 func TestSemiJoinAndAntiJoin(t *testing.T) {
 	c := mpc.NewCluster(4)
 	x := relation.New("X", relation.NewSchema(1, 2))
@@ -155,8 +173,8 @@ func TestSemiJoinAndAntiJoin(t *testing.T) {
 	f.Add(3) // duplicate: SemiJoin must dedup the filter side
 	dx := mpc.FromRelation(c, x)
 	df := mpc.FromRelation(c, f)
-	semi := SemiJoin(dx, []relation.Attr{1}, df, []relation.Attr{3}, 5)
-	anti := AntiJoin(dx, []relation.Attr{1}, df, []relation.Attr{3}, 5)
+	semi := SemiJoin(dx, []relation.Attr{1}, df, []relation.Attr{3})
+	anti := AntiJoin(dx, []relation.Attr{1}, df, []relation.Attr{3})
 	if semi.Size() != 8 {
 		t.Errorf("SemiJoin size = %d, want 8", semi.Size())
 	}

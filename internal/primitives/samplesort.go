@@ -1,0 +1,241 @@
+package primitives
+
+import (
+	"sort"
+
+	"repro/internal/mpc"
+	"repro/internal/runtime"
+)
+
+// The parallel sample sort: the last serial O(IN log IN) inside a cell.
+//
+// sortAndChop used to stand the paper's one-round sample sort in with a
+// single sort.SliceStable on the coordinator. This file runs the charged
+// topology for real, on runtime.Fork:
+//
+//  1. Splitters. A deterministic stride sample of the keys is sorted and
+//     cut at regular positions into b−1 splitters (b = data-plane width),
+//     oversampled so skewed key distributions still yield balanced ranges.
+//  2. Partition. The records are cut into b contiguous segments; each
+//     forked task classifies its segment's records into key ranges
+//     (sort.SearchStrings over the splitters — a pure function of the key,
+//     so every occurrence of a key lands in the same range) and counts per
+//     (segment, range). Prefix sums in (range, segment) order then give
+//     every task a disjoint write window per range, and a second forked
+//     pass scatters the records — lock-free, one exact-capacity buffer.
+//  3. Sort. Each range is stable-sorted concurrently and copied back into
+//     place; ranges are contiguous and ordered, so the concatenation is
+//     globally sorted.
+//
+// Determinism is structural, not incidental: within a range the scatter
+// preserves global input order (segments are contiguous in input order and
+// the write windows are prefix sums in segment order), so stable-sorting
+// each range and concatenating yields exactly the unique stable sort by
+// (key, tag) — the same permutation serialSortAndChopRef produces — for
+// every width and every splitter choice. runtime.SetParallelism(1) and
+// small inputs take the serial path, which is byte-identical anyway.
+
+// sampleSortSerialBelow is the record count under which the sort runs
+// serially: splitter sampling and two extra passes cost more than they
+// save, and the output is byte-identical either way.
+const sampleSortSerialBelow = 1 << 12
+
+// splitterOversample is the number of sampled keys per range; regular
+// sampling at this rate keeps expected range sizes within a constant
+// factor of n/b even on adversarial key distributions.
+const splitterOversample = 8
+
+// sortAndChop globally sorts records by (key, tag) with the parallel
+// sample sort and distributes them into p equal chunks, charging each
+// server its chunk size in one round (the paper's one-round sample sort
+// with linear load).
+func sortAndChop(c *mpc.Cluster, recs []rec) [][]rec {
+	sampleSortRecs(recs)
+	return chop(c, recs)
+}
+
+// sampleSortRecs stable-sorts recs by (key, tag) in place, in parallel.
+func sampleSortRecs(recs []rec) {
+	n := len(recs)
+	b := runtime.Parallelism()
+	if b > n {
+		b = n
+	}
+	if n < sampleSortSerialBelow {
+		// Small inputs — the common case for sub-queries and reduced
+		// instances — keep the allocation-free in-place sort.
+		sort.SliceStable(recs, func(i, j int) bool { return recLess(recs[i], recs[j]) })
+		return
+	}
+	if b <= 1 {
+		// Large input, one worker: the buffered merge sort still beats
+		// SliceStable's in-place block rotations, scratch and all.
+		if sorted := stableSortRecs(recs, make([]rec, n)); &sorted[0] != &recs[0] {
+			copy(recs, sorted)
+		}
+		return
+	}
+
+	splitters := sampleSplitters(recs, b)
+
+	// Segment bounds: b contiguous segments in input order.
+	segLo := func(t int) int { return t * n / b }
+
+	// Counting pass: each task classifies its segment into ranges.
+	ranges := make([]int32, n)
+	counts := make([][]int32, b)
+	runtime.Fork(b, func(t int) {
+		cnt := make([]int32, len(splitters)+1)
+		for i := segLo(t); i < segLo(t+1); i++ {
+			r := int32(sort.SearchStrings(splitters, recs[i].key))
+			ranges[i] = r
+			cnt[r]++
+		}
+		counts[t] = cnt
+	})
+
+	// Prefix sums in (range, segment) order: rangeStart bounds each range
+	// in the scratch buffer; bases give each task its disjoint write
+	// window per range, in segment order — global input order per range.
+	nr := len(splitters) + 1
+	rangeStart := make([]int, nr+1)
+	bases := make([][]int32, b)
+	for t := range bases {
+		bases[t] = make([]int32, nr)
+	}
+	off := 0
+	for r := 0; r < nr; r++ {
+		rangeStart[r] = off
+		for t := 0; t < b; t++ {
+			bases[t][r] = int32(off)
+			off += int(counts[t][r])
+		}
+	}
+	rangeStart[nr] = off
+
+	// Scatter pass: disjoint pre-computed windows, no locks.
+	scratch := make([]rec, n)
+	runtime.Fork(b, func(t int) {
+		cur := make([]int32, nr)
+		copy(cur, bases[t])
+		for i := segLo(t); i < segLo(t+1); i++ {
+			r := ranges[i]
+			scratch[cur[r]] = recs[i]
+			cur[r]++
+		}
+	})
+
+	// Sort each range concurrently back into place. The range's window of
+	// recs is dead after the scatter, so it doubles as the merge buffer —
+	// disjoint windows, no extra allocation, no locks — and a range whose
+	// merge passes end in the recs window needs no copy at all.
+	runtime.Fork(nr, func(r int) {
+		lo, hi := rangeStart[r], rangeStart[r+1]
+		if lo == hi {
+			return
+		}
+		if sorted := stableSortRecs(scratch[lo:hi], recs[lo:hi]); &sorted[0] != &recs[lo] {
+			copy(recs[lo:hi], sorted)
+		}
+	})
+}
+
+// insertionRun is the block size seeded by insertion sort before the merge
+// passes take over.
+const insertionRun = 24
+
+// stableSortRecs sorts a by (key, tag) with a bottom-up stable merge sort
+// through the caller-provided buffer (len(buf) ≥ len(a)): insertion-sorted
+// runs, then buffered merges. Buffered merges copy instead of rotating
+// blocks in place, which is what makes this measurably faster than
+// sort.SliceStable — the win BenchmarkSampleSort vs BenchmarkSerialSortRef
+// tracks even at data-plane width 1. The sorted data ends in a or in buf
+// depending on the pass count; the returned slice is whichever holds it,
+// so the caller copies only when it actually needs the other one.
+func stableSortRecs(a, buf []rec) []rec {
+	n := len(a)
+	if n < 2 {
+		return a
+	}
+	for lo := 0; lo < n; lo += insertionRun {
+		hi := lo + insertionRun
+		if hi > n {
+			hi = n
+		}
+		insertionSortRecs(a[lo:hi])
+	}
+	src, dst := a, buf[:n]
+	for width := insertionRun; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid, hi := lo+width, lo+2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeRecs(dst[lo:hi], src[lo:mid], src[mid:hi])
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// insertionSortRecs is a stable insertion sort: an element moves left only
+// past strictly greater predecessors.
+func insertionSortRecs(a []rec) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && recLess(x, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// mergeRecs merges sorted runs a and b into dst (len(dst) = len(a)+len(b)),
+// taking from a on ties — the stability rule.
+func mergeRecs(dst, a, b []rec) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if recLess(b[j], a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}
+
+// sampleSplitters returns at most b−1 sorted splitter keys cutting the key
+// space into b near-equal ranges: a deterministic stride sample (no RNG,
+// no seed — the same records always yield the same splitters), sorted and
+// cut at regular positions. Duplicate splitters are collapsed; the ranges
+// they would bound are empty anyway.
+func sampleSplitters(recs []rec, b int) []string {
+	n := len(recs)
+	want := b * splitterOversample
+	stride := n / want
+	if stride < 1 {
+		stride = 1
+	}
+	sample := make([]string, 0, want+1)
+	for i := 0; i < n; i += stride {
+		sample = append(sample, recs[i].key)
+	}
+	sort.Strings(sample)
+	splitters := make([]string, 0, b-1)
+	for i := 1; i < b; i++ {
+		s := sample[i*len(sample)/b]
+		if len(splitters) == 0 || s != splitters[len(splitters)-1] {
+			splitters = append(splitters, s)
+		}
+	}
+	return splitters
+}

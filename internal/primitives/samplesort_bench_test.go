@@ -1,0 +1,95 @@
+package primitives
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// BenchmarkSampleSort vs BenchmarkSerialSortRef: the parallel sample sort
+// against the retained coordinator sort, on the same record sets. Both are
+// in the counted `make bench` family; the parallel path must win ns/op at
+// IN = 2^17. BenchmarkLookup covers the primitive end-to-end (record
+// collection, sort, boundary propagation, combine).
+
+const benchSortP = 64
+
+func benchRecs(n int, skewed bool, seed int64) []rec {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]rec, n)
+	for i := range recs {
+		k := rng.Intn(n)
+		if skewed {
+			k = rng.Intn(1 + rng.Intn(1+n/8))
+		}
+		recs[i] = mkRec(k, uint8(i%2), i)
+	}
+	return recs
+}
+
+func benchSortShapes() []struct {
+	name   string
+	skewed bool
+} {
+	return []struct {
+		name   string
+		skewed bool
+	}{{"uniform", false}, {"skewed", true}}
+}
+
+func BenchmarkSampleSort(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 17} {
+		for _, shape := range benchSortShapes() {
+			base := benchRecs(n, shape.skewed, 7)
+			b.Run(fmt.Sprintf("%s/n=%d", shape.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				recs := make([]rec, n)
+				for i := 0; i < b.N; i++ {
+					copy(recs, base)
+					sortAndChop(mpc.NewCluster(benchSortP), recs)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSerialSortRef(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 17} {
+		for _, shape := range benchSortShapes() {
+			base := benchRecs(n, shape.skewed, 7)
+			b.Run(fmt.Sprintf("%s/n=%d", shape.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				recs := make([]rec, n)
+				for i := 0; i < b.N; i++ {
+					copy(recs, base)
+					serialSortAndChopRef(mpc.NewCluster(benchSortP), recs)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 17} {
+		c := mpc.NewCluster(benchSortP)
+		rng := rand.New(rand.NewSource(3))
+		x := relation.New("X", relation.NewSchema(1, 2))
+		for i := 0; i < n; i++ {
+			x.Add(relation.Value(rng.Intn(n/4)), relation.Value(i))
+		}
+		d := relation.New("D", relation.NewSchema(1))
+		for k := 0; k < n/4; k++ {
+			d.AddAnnotated(int64(k), relation.Value(k))
+		}
+		dx, dd := mpc.FromRelation(c, x), mpc.FromRelation(c, d)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				AttachAnnot(dx, []relation.Attr{1}, dd, []relation.Attr{1}, relation.CountRing, true)
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package primitives
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/mpc"
+	"repro/internal/relation"
+	"repro/internal/runtime"
+)
+
+// sortInput is one adversarial record-set shape. Payloads (it.T[1]) are the
+// input index, so chunk equality also proves the sort is stable: equal
+// (key, tag) records must keep input order.
+type sortInput struct {
+	name string
+	recs func() []rec
+}
+
+func mkRec(key int, tag uint8, i int) rec {
+	return rec{
+		key: relation.EncodeValues(relation.Value(key)),
+		tag: tag,
+		it:  mpc.Item{T: relation.Tuple{relation.Value(key), relation.Value(i)}, A: int64(i)},
+	}
+}
+
+// sortInputs covers the skew shapes the primitives meet: uniform keys,
+// one heavy key spanning every chunk, zipf-ish skew with a directory-side
+// tag mix, pre-sorted and reverse-sorted runs, and degenerate sizes.
+func sortInputs(n int) []sortInput {
+	return []sortInput{
+		{"uniform", func() []rec {
+			rng := rand.New(rand.NewSource(1))
+			recs := make([]rec, n)
+			for i := range recs {
+				recs[i] = mkRec(rng.Intn(n), uint8(i%2), i)
+			}
+			return recs
+		}},
+		{"one_heavy_key", func() []rec {
+			recs := make([]rec, n)
+			for i := range recs {
+				recs[i] = mkRec(7, uint8(i%2), i)
+			}
+			return recs
+		}},
+		{"zipfish", func() []rec {
+			rng := rand.New(rand.NewSource(2))
+			recs := make([]rec, n)
+			for i := range recs {
+				recs[i] = mkRec(rng.Intn(1+rng.Intn(1+n/8)), uint8(rng.Intn(2)), i)
+			}
+			return recs
+		}},
+		{"sorted", func() []rec {
+			recs := make([]rec, n)
+			for i := range recs {
+				recs[i] = mkRec(i, 0, i)
+			}
+			return recs
+		}},
+		{"reversed", func() []rec {
+			recs := make([]rec, n)
+			for i := range recs {
+				recs[i] = mkRec(n-i, 1, i)
+			}
+			return recs
+		}},
+		{"tiny", func() []rec {
+			return []rec{mkRec(3, 1, 0), mkRec(1, 0, 1), mkRec(3, 0, 2)}
+		}},
+		{"empty", func() []rec { return nil }},
+	}
+}
+
+// TestSampleSortParityWithSerialRef is the tentpole guarantee: for every
+// input shape and every data-plane width, sortAndChop produces byte-
+// identical chunks and identical per-round cluster charges to the retained
+// serial reference. Run under -race (make ci) this is also the lock-freedom
+// proof for the partition/scatter/sort passes.
+func TestSampleSortParityWithSerialRef(t *testing.T) {
+	const p, n = 16, 20000
+	for _, in := range sortInputs(n) {
+		t.Run(in.name, func(t *testing.T) {
+			ref := mpc.NewCluster(p)
+			refChunks := serialSortAndChopRef(ref, in.recs())
+			refStats := ref.Snapshot()
+
+			for _, width := range []int{1, 2, 8} {
+				prev := runtime.SetParallelism(width)
+				c := mpc.NewCluster(p)
+				got := sortAndChop(c, in.recs())
+				gotStats := c.Snapshot()
+				runtime.SetParallelism(prev)
+
+				for s := range refChunks {
+					if !reflect.DeepEqual(refChunks[s], got[s]) {
+						t.Fatalf("width %d: chunk %d differs: ref %d recs, got %d recs",
+							width, s, len(refChunks[s]), len(got[s]))
+					}
+				}
+				if !reflect.DeepEqual(refStats, gotStats) {
+					t.Fatalf("width %d: charges differ:\nref %+v\ngot %+v", width, refStats, gotStats)
+				}
+			}
+		})
+	}
+}
+
+// TestSampleSortPropertyRandomShapes is the property test: on random sizes,
+// key ranges and tag mixes, the parallel sort must equal the unique stable
+// (key, tag) sort of the input.
+func TestSampleSortPropertyRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(3 * sampleSortSerialBelow)
+		keys := 1 + rng.Intn(1+n/(1+rng.Intn(64)))
+		recs := make([]rec, n)
+		for i := range recs {
+			recs[i] = mkRec(rng.Intn(keys), uint8(rng.Intn(3)), i)
+		}
+		want := append([]rec(nil), recs...)
+		sort.SliceStable(want, func(i, j int) bool { return recLess(want[i], want[j]) })
+
+		width := 1 + rng.Intn(8)
+		prev := runtime.SetParallelism(width)
+		sampleSortRecs(recs)
+		runtime.SetParallelism(prev)
+
+		if !reflect.DeepEqual(recs, want) {
+			t.Fatalf("trial %d (n=%d keys=%d width=%d): parallel sort is not the stable sort",
+				trial, n, keys, width)
+		}
+	}
+}
+
+// TestSampleSplittersAreSortedAndDistinct pins the splitter contract the
+// range partition depends on: sorted, distinct, and fewer than b.
+func TestSampleSplittersAreSortedAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, keys := range []int{1, 2, 100, 1 << 14} {
+		recs := make([]rec, 1<<14)
+		for i := range recs {
+			recs[i] = mkRec(rng.Intn(keys), 0, i)
+		}
+		for _, b := range []int{2, 3, 8, 32} {
+			sp := sampleSplitters(recs, b)
+			if len(sp) >= b {
+				t.Fatalf("keys=%d b=%d: %d splitters", keys, b, len(sp))
+			}
+			for i := 1; i < len(sp); i++ {
+				if sp[i] <= sp[i-1] {
+					t.Fatalf("keys=%d b=%d: splitters not sorted-distinct: %q", keys, b, sp)
+				}
+			}
+		}
+	}
+}
+
+// TestChopCeilDivisionInvariant: the old code silently clamped a record
+// past the last server; that clamp is now a panic, and this test proves the
+// panic is unreachable from ceil division — the invariant a future chunking
+// change would have to re-establish.
+func TestChopCeilDivisionInvariant(t *testing.T) {
+	c := mpc.NewCluster(2)
+	recs := []rec{mkRec(1, 0, 0), mkRec(2, 0, 1), mkRec(3, 0, 2)}
+	for n := 0; n <= 64; n++ {
+		for p := 1; p <= 8; p++ {
+			chunk := (n + p - 1) / p
+			if chunk == 0 {
+				chunk = 1
+			}
+			if n > 0 && (n-1)/chunk >= p {
+				t.Fatalf("ceil division violated: n=%d p=%d", n, p)
+			}
+		}
+	}
+	_ = chop(c, recs)
+	if c.RoundMax(1) != 2 {
+		t.Fatalf("chop charged %d, want 2", c.RoundMax(1))
+	}
+}
+
+// TestEmptyInputsChargeNoRounds is the round-inflation regression test:
+// Lookup, DistinctByKey, MultiNumbering and SemiJoin on empty inputs must
+// short-circuit — no sort round, no coordinator exchange — while the
+// non-empty paths keep their documented round counts.
+func TestEmptyInputsChargeNoRounds(t *testing.T) {
+	c := mpc.NewCluster(4)
+	empty := mpc.NewDist(c, relation.NewSchema(1))
+	full := mpc.FromRelation(c, func() *relation.Relation {
+		r := relation.New("D", relation.NewSchema(1))
+		for i := 0; i < 8; i++ {
+			r.Add(relation.Value(i))
+		}
+		return r
+	}())
+
+	keep := func(it mpc.Item, r LookupResult) (mpc.Item, bool) { return it, r.Found }
+	key := []relation.Attr{1}
+
+	if got := Lookup(empty, key, full, key, empty.Schema, keep); got.Size() != 0 {
+		t.Fatalf("Lookup(empty) size = %d", got.Size())
+	}
+	if got := DistinctByKey(empty, key); got.Size() != 0 {
+		t.Fatalf("DistinctByKey(empty) size = %d", got.Size())
+	}
+	if got := MultiNumbering(empty, key, 99); got.Size() != 0 {
+		t.Fatalf("MultiNumbering(empty) size = %d", got.Size())
+	}
+	if got := SemiJoin(empty, key, empty, key); got.Size() != 0 {
+		t.Fatalf("SemiJoin(empty, empty) size = %d", got.Size())
+	}
+	// An empty probe with a NON-empty directory must not pay for sorting
+	// the directory either.
+	if got := SemiJoin(empty, key, full, key); got.Size() != 0 {
+		t.Fatalf("SemiJoin(empty, full) size = %d", got.Size())
+	}
+	if got := AntiJoin(empty, key, full, key); got.Size() != 0 {
+		t.Fatalf("AntiJoin(empty, full) size = %d", got.Size())
+	}
+	if c.Rounds() != 0 {
+		t.Fatalf("empty-input primitives charged %d rounds, want 0", c.Rounds())
+	}
+
+	// Non-empty reference counts: sortAndChop is 1 round, the boundary
+	// exchange 2 (gather to the coordinator + reply).
+	DistinctByKey(full, key)
+	if c.Rounds() != 3 {
+		t.Fatalf("DistinctByKey rounds = %d, want 3", c.Rounds())
+	}
+	Lookup(full, key, full.FilterLocal(func(mpc.Item) bool { return false }), key, full.Schema, keep)
+	if c.Rounds() != 6 {
+		t.Fatalf("Lookup rounds = %d, want 3+3", c.Rounds())
+	}
+}
+
+// TestSampleSortWidthSweepDeterminism re-sorts the same zipf input at every
+// width and demands byte-identical chunk tables — the cheap standing sweep
+// the engine catalog test mirrors at full scale.
+func TestSampleSortWidthSweepDeterminism(t *testing.T) {
+	const p, n = 8, 1 << 14
+	mk := sortInputs(n)[2] // zipfish
+	var ref [][]rec
+	for _, width := range []int{1, 2, 4, 8} {
+		prev := runtime.SetParallelism(width)
+		c := mpc.NewCluster(p)
+		got := sortAndChop(c, mk.recs())
+		runtime.SetParallelism(prev)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatal(fmt.Sprintf("width %d chunks differ from width 1", width))
+		}
+	}
+}

@@ -5,13 +5,17 @@
 // assumption IN ≥ p^{1+ε}.
 //
 // Skew-sensitive primitives (lookup, numbering, distinct) are built on a
-// simulated sample sort (Goodrich et al. [14]): records are globally sorted
+// one-round sample sort (Goodrich et al. [14]): records are globally sorted
 // by key and cut into p equal chunks, so a heavy key spreads over
 // consecutive servers instead of hashing onto one; per-chunk boundary
-// information then flows through a coordinator at O(p) load.
+// information then flows through a coordinator at O(p) load. The simulator
+// runs the sort as a real parallel sample sort over runtime.Fork — splitter
+// sampling, parallel range partition, concurrent per-range sorts — matching
+// the topology the cost model charges (see samplesort.go).
 package primitives
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/mpc"
@@ -25,34 +29,57 @@ type rec struct {
 	it  mpc.Item
 }
 
-// sortAndChop globally sorts records by (key, tag) and distributes them into
-// p equal chunks, charging each server its chunk size in one round. This is
-// the simulator's stand-in for a one-round sample sort with linear load.
-func sortAndChop(c *mpc.Cluster, recs []rec) [][]rec {
-	sort.SliceStable(recs, func(i, j int) bool {
-		if recs[i].key != recs[j].key {
-			return recs[i].key < recs[j].key
-		}
-		return recs[i].tag < recs[j].tag
-	})
+// recLess is THE record order of every skew-sensitive primitive: by key,
+// ties broken by tag. The serial reference and the parallel sample sort
+// must agree on it exactly.
+func recLess(a, b rec) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.tag < b.tag
+}
+
+// chop distributes globally sorted records into p equal chunks — windows
+// of the sorted slice, no copying — charging each server its chunk size in
+// one round. Shared by the parallel sample sort and the serial reference,
+// so both paths charge identically. Callers treat chunks as read-only.
+func chop(c *mpc.Cluster, recs []rec) [][]rec {
 	p := c.P
 	n := len(recs)
 	chunk := (n + p - 1) / p
 	if chunk == 0 {
 		chunk = 1
 	}
+	if n > 0 && (n-1)/chunk >= p {
+		// Ceil division guarantees the last record lands before server p;
+		// a future chunking change that breaks this must not silently
+		// overload the last server.
+		panic(fmt.Sprintf("primitives: chop record %d past server %d (n=%d, chunk=%d)", n-1, p-1, n, chunk))
+	}
 	chunks := make([][]rec, p)
 	loads := make([]int, p)
-	for i := 0; i < n; i++ {
-		s := i / chunk
-		if s >= p {
-			s = p - 1
+	for s := 0; s < p; s++ {
+		lo := s * chunk
+		if lo >= n {
+			break
 		}
-		chunks[s] = append(chunks[s], recs[i])
-		loads[s]++
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		chunks[s] = recs[lo:hi]
+		loads[s] = hi - lo
 	}
 	c.ChargeRound(loads)
 	return chunks
+}
+
+// serialSortAndChopRef is the pre-parallel coordinator sort, kept verbatim
+// as the parity and benchmark reference: sortAndChop must produce
+// byte-identical chunks and identical charges at every data-plane width.
+func serialSortAndChopRef(c *mpc.Cluster, recs []rec) [][]rec {
+	sort.SliceStable(recs, func(i, j int) bool { return recLess(recs[i], recs[j]) })
+	return chop(c, recs)
 }
 
 // chargeCoordinatorExchange charges the standard boundary-information
