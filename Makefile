@@ -3,17 +3,29 @@ GO ?= go
 # bench knobs: BENCH filters the benchmark set, COUNT is the number of
 # counted runs (benchstat wants ≥ 6 to report significance). The counted
 # family pairs each parallel data-plane path with its retained serial
-# reference: Exchange/Route, SampleSort/SerialSortRef, plus Lookup
-# end-to-end over the sample sort.
-BENCH ?= BenchmarkExchange|BenchmarkRoute|BenchmarkSampleSort|BenchmarkSerialSortRef|BenchmarkLookup|BenchmarkMicro_SemiJoin
+# reference: Exchange/Route (columnar plan/scatter vs tuple-at-a-time),
+# SampleSort/SerialSortRef (rank-vector sort vs coordinator sort), the
+# columnar FromRelation placement, plus Lookup end-to-end over the pooled
+# record columns.
+BENCH ?= BenchmarkExchange|BenchmarkRoute|BenchmarkFromRelation|BenchmarkSampleSort|BenchmarkSerialSortRef|BenchmarkLookup|BenchmarkMicro_SemiJoin
 COUNT ?= 6
 
-.PHONY: ci fmt vet build test race smoke bench bench-all bench-smoke experiments
+# Coverage floors for the data-plane packages (percent of statements).
+# The columnar store and the record pool are proof-heavy code: if their
+# tests rot, ci fails before the guarantees do.
+COVER_FLOOR_MPC ?= 85
+COVER_FLOOR_PRIMITIVES ?= 90
 
-# ci is tier-1 plus race checking, a public-API smoke pass, and a
-# bench-smoke pass in one command: if an example, CLI, or benchmark stops
-# compiling or running, ci fails.
-ci: fmt vet build race smoke bench-smoke
+# fuzz-smoke budget per target.
+FUZZTIME ?= 10s
+
+.PHONY: ci fmt vet build test race smoke bench bench-all bench-smoke fuzz-smoke cover experiments
+
+# ci is tier-1 plus race checking, a public-API smoke pass, coverage
+# floors, a fuzz-smoke pass over the data-plane parity targets, and a
+# bench-smoke pass in one command: if an example, CLI, benchmark, fuzz
+# target, or coverage floor stops holding, ci fails.
+ci: fmt vet build race smoke cover fuzz-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -46,6 +58,29 @@ smoke: build
 	$(GO) run ./cmd/classify > /dev/null
 	$(GO) run ./cmd/classify -q "1,2;2,3;3,4" > /dev/null
 	@echo "smoke: all examples and CLIs ran"
+
+# cover writes one profile per data-plane package (a single test run each)
+# and enforces the per-package statement-coverage floors from the profile
+# totals.
+cover:
+	@for spec in "repro/internal/mpc mpc $(COVER_FLOOR_MPC)" "repro/internal/primitives primitives $(COVER_FLOOR_PRIMITIVES)"; do \
+		set -- $$spec; pkg=$$1; name=$$2; floor=$$3; \
+		$(GO) test -coverprofile=cover-$$name.out $$pkg > /dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=cover-$$name.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN{print (p>=f)?1:0}'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "cover: $$pkg at $$pct% is below the $$floor% floor"; exit 1; \
+		fi; \
+		echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+	done
+
+# fuzz-smoke runs each native fuzz target for FUZZTIME: the exchange and
+# the sample sort must stay value-identical to their retained serial
+# references on randomized inputs, widths, and pool states.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzExchangeParity$$' -fuzztime $(FUZZTIME) ./internal/mpc
+	$(GO) test -run '^$$' -fuzz '^FuzzSampleSortParity$$' -fuzztime $(FUZZTIME) ./internal/primitives
 
 # bench runs the exchange microbenchmarks (override with BENCH=…) as
 # COUNT counted passes with allocation stats — pipe the output of two

@@ -169,7 +169,7 @@ func Aggregate(c *mpc.Cluster, in *Instance, y hypergraph.AttrSet, seed uint64, 
 	if len(res.Frontiers) == 0 {
 		out := mpc.NewDist(c, ySchema)
 		if len(y) == 0 && res.Scalar != in.Ring.Zero {
-			out.Parts[0] = append(out.Parts[0], mpc.Item{T: relation.Tuple{}, A: res.Scalar})
+			out.Parts[0].Append(relation.Tuple{}, res.Scalar)
 			EmitDist(out, ySchema, em)
 		}
 		return out

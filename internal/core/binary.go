@@ -39,9 +39,11 @@ func BinaryJoin(a, b *mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emit
 
 	// OUT = Σ_k da·db and the heavy-key directory, known cluster-wide.
 	out := int64(0)
-	for _, part := range jd.Parts {
-		for _, it := range part {
-			da, db := int64(it.T[len(it.T)-2]), int64(it.T[len(it.T)-1])
+	for s := range jd.Parts {
+		part := &jd.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			t := part.Tuple(i)
+			da, db := int64(t[len(t)-2]), int64(t[len(t)-1])
 			out += da * db
 		}
 	}
@@ -106,16 +108,19 @@ func BinaryJoin(a, b *mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emit
 	bExtraPosIn := rb.Positions(bExtra)
 	aCore := len(a.Schema)
 	runtime.Fork(len(ra.Parts), func(s int) {
-		if len(ra.Parts[s]) == 0 || len(rb.Parts[s]) == 0 {
+		pa, pb := &ra.Parts[s], &rb.Parts[s]
+		if pa.Len() == 0 || pb.Len() == 0 {
 			return
 		}
 		idx := make(map[string][]mpc.Item)
-		for _, it := range rb.Parts[s] {
+		for i := 0; i < pb.Len(); i++ {
+			it := pb.Item(i)
 			k := relation.KeyAt(it.T, bPosKey)
 			idx[k] = append(idx[k], it)
 		}
-		var part []mpc.Item
-		for _, ai := range ra.Parts[s] {
+		var part mpc.Columns
+		for i := 0; i < pa.Len(); i++ {
+			ai := pa.Item(i)
 			k := relation.KeyAt(ai.T, aPosKey)
 			for _, bi := range idx[k] {
 				t := make(relation.Tuple, 0, len(outSchema))
@@ -123,7 +128,7 @@ func BinaryJoin(a, b *mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emit
 				for _, p := range bExtraPosIn {
 					t = append(t, bi.T[p])
 				}
-				part = append(part, mpc.Item{T: t, A: ring.Mul(ai.A, bi.A)})
+				part.Append(t, ring.Mul(ai.A, bi.A))
 			}
 		}
 		res.Parts[s] = part
@@ -138,9 +143,10 @@ func emitParts(res *mpc.Dist, em mpc.Emitter) {
 	if em == nil {
 		return
 	}
-	for s, part := range res.Parts {
-		for _, it := range part {
-			em.Emit(s, it.T, it.A)
+	for s := range res.Parts {
+		part := &res.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			em.Emit(s, part.Tuple(i), part.Annot(i))
 		}
 	}
 }
@@ -163,22 +169,24 @@ func joinDegrees(dA, dB *mpc.Dist, shared relation.Schema, salt uint64) *mpc.Dis
 	posA := sa.Positions(keyAttrs)
 	posB := sb.Positions(keyAttrs)
 	for s := range sa.Parts {
+		pa, pb := &sa.Parts[s], &sb.Parts[s]
 		bdeg := make(map[string]int64)
-		for _, it := range sb.Parts[s] {
-			bdeg[relation.KeyAt(it.T, posB)] = it.A
+		for i := 0; i < pb.Len(); i++ {
+			bdeg[relation.KeyAt(pb.Tuple(i), posB)] = pb.Annot(i)
 		}
-		for _, it := range sa.Parts[s] {
-			k := relation.KeyAt(it.T, posA)
+		for i := 0; i < pa.Len(); i++ {
+			tup := pa.Tuple(i)
+			k := relation.KeyAt(tup, posA)
 			db, ok := bdeg[k]
 			if !ok {
 				continue
 			}
 			t := make(relation.Tuple, 0, len(schema))
 			for _, p := range posA {
-				t = append(t, it.T[p])
+				t = append(t, tup[p])
 			}
-			t = append(t, relation.Value(it.A), relation.Value(db))
-			out.Parts[s] = append(out.Parts[s], mpc.Item{T: t, A: 1})
+			t = append(t, relation.Value(pa.Annot(i)), relation.Value(db))
+			out.Parts[s].Append(t, 1)
 		}
 	}
 	return out
@@ -194,12 +202,14 @@ func buildGrid(jd *mpc.Dist, shared relation.Schema, l0, out int64, p int) map[s
 	}
 	var heavies []entry
 	perServer := (out + int64(p) - 1) / int64(p)
-	for _, part := range jd.Parts {
-		for _, it := range part {
-			n := len(it.T)
-			da, db := int64(it.T[n-2]), int64(it.T[n-1])
+	for s := range jd.Parts {
+		part := &jd.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			t := part.Tuple(i)
+			n := len(t)
+			da, db := int64(t[n-2]), int64(t[n-1])
 			if da > l0 || db > l0 || da*db > perServer {
-				heavies = append(heavies, entry{relation.KeyAt(it.T, keyPos), da, db})
+				heavies = append(heavies, entry{relation.KeyAt(t, keyPos), da, db})
 			}
 		}
 	}

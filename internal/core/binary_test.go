@@ -172,7 +172,7 @@ func TestBinaryJoinEmitter(t *testing.T) {
 func TestStripSynthetic(t *testing.T) {
 	c := mpc.NewCluster(2)
 	d := mpc.NewDist(c, relation.Schema{1, synthDA, 2})
-	d.Parts[0] = append(d.Parts[0], mpc.Item{T: relation.Tuple{10, 99, 20}, A: 1})
+	d.Parts[0].Append(relation.Tuple{10, 99, 20}, 1)
 	s := StripSynthetic(d)
 	if !s.Schema.Equal(relation.NewSchema(1, 2)) {
 		t.Fatalf("schema = %v", s.Schema)

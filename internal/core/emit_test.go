@@ -45,8 +45,8 @@ func TestEmitDistParallelMatchesSerial(t *testing.T) {
 		}
 		var perTotal int64
 		for s, cnt := range perServer.Counts {
-			if int(cnt) != len(d.Parts[s]) {
-				t.Fatalf("width %d: server %d count %d, want %d", width, s, cnt, len(d.Parts[s]))
+			if int(cnt) != d.Parts[s].Len() {
+				t.Fatalf("width %d: server %d count %d, want %d", width, s, cnt, d.Parts[s].Len())
 			}
 			perTotal += cnt
 		}

@@ -76,14 +76,17 @@ func Line3WorstCase(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *
 
 	for sv := 0; sv < c.P; sv++ {
 		byB := map[relation.Value][]mpc.Item{}
-		for _, it := range g1.Parts[sv] {
+		for i, p := 0, &g1.Parts[sv]; i < p.Len(); i++ {
+			it := p.Item(i)
 			byB[it.T[p1b]] = append(byB[it.T[p1b]], it)
 		}
 		byC := map[relation.Value][]mpc.Item{}
-		for _, it := range g3.Parts[sv] {
+		for i, p := 0, &g3.Parts[sv]; i < p.Len(); i++ {
+			it := p.Item(i)
 			byC[it.T[p3c]] = append(byC[it.T[p3c]], it)
 		}
-		for _, mid := range g2.Parts[sv] {
+		for mi, p2 := 0, &g2.Parts[sv]; mi < p2.Len(); mi++ {
+			mid := p2.Item(mi)
 			bv, cv := mid.T[p2b], mid.T[p2c]
 			for _, left := range byB[bv] {
 				for _, right := range byC[cv] {
@@ -96,7 +99,7 @@ func Line3WorstCase(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *
 						t[dDst[i]] = right.T[p]
 					}
 					annot := in.Ring.Mul(left.A, in.Ring.Mul(mid.A, right.A))
-					res.Parts[sv] = append(res.Parts[sv], mpc.Item{T: t, A: annot})
+					res.Parts[sv].Append(t, annot)
 					if em != nil {
 						em.Emit(sv, t, annot)
 					}

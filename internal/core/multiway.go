@@ -96,7 +96,9 @@ func MultiwayKeyedJoin(key relation.Schema, dists []*mpc.Dist, ring relation.Sem
 	runtime.Fork(c.P, func(s int) {
 		groups := make(map[string][][]mpc.Item)
 		for i, d := range routed {
-			for _, it := range d.Parts[s] {
+			part := &d.Parts[s]
+			for j := 0; j < part.Len(); j++ {
+				it := part.Item(j)
 				k := relation.KeyAt(it.T, keyPosIn[i])
 				g, ok := groups[k]
 				if !ok {
@@ -149,7 +151,7 @@ func emitCross(res *mpc.Dist, s int, g [][]mpc.Item, keyVals []relation.Value,
 			}
 			annot = ring.Mul(annot, it.A)
 		}
-		res.Parts[s] = append(res.Parts[s], mpc.Item{T: t, A: annot})
+		res.Parts[s].Append(t, annot)
 		// Advance the mixed-radix counter.
 		i := m - 1
 		for ; i >= 0; i-- {
@@ -177,15 +179,16 @@ func collectKeyStats(degs []*mpc.Dist, keyAttrs []relation.Attr, m int) []keySta
 	byKey := map[string]*keyStat{}
 	for i, d := range degs {
 		pos := d.Positions(keyAttrs)
-		for _, part := range d.Parts {
-			for _, it := range part {
-				k := relation.KeyAt(it.T, pos)
+		for s := range d.Parts {
+			part := &d.Parts[s]
+			for j := 0; j < part.Len(); j++ {
+				k := relation.KeyAt(part.Tuple(j), pos)
 				st, ok := byKey[k]
 				if !ok {
 					st = &keyStat{key: k, degs: make([]int64, m)}
 					byKey[k] = st
 				}
-				st.degs[i] = it.A
+				st.degs[i] = part.Annot(j)
 			}
 		}
 	}

@@ -123,7 +123,7 @@ func hierRec(sub *mpc.Cluster, rels []*relation.Relation, fixed hypergraph.AttrS
 	if len(active) == 0 {
 		out := mpc.NewDist(sub, unionSchema(rels))
 		t := joinScalarTuples(scalar)
-		out.Parts[0] = append(out.Parts[0], mpc.Item{T: t, A: scale})
+		out.Parts[0].Append(t, scale)
 		return out
 	}
 	active = reduceFold(active, fixed, ring)
@@ -185,7 +185,7 @@ func hierCase1(sub *mpc.Cluster, active []*relation.Relation, fixed hypergraph.A
 			srv := lightServer(curLight)
 			res := localJoin(g, ring)
 			for i, t := range res.Tuples {
-				out.Parts[srv] = append(out.Parts[srv], mpc.Item{T: t, A: res.Annot(i)})
+				out.Parts[srv].Append(t, res.Annot(i))
 			}
 			continue
 		}
@@ -227,8 +227,9 @@ func hierCase1(sub *mpc.Cluster, active []*relation.Relation, fixed hypergraph.A
 		stats = append(stats, h.stats)
 		for s := 0; s < h.res.C.P; s++ {
 			dst := (offset + s) % sub.P
-			for _, it := range h.res.Parts[s] {
-				out.Parts[dst] = append(out.Parts[dst], mpc.Item{T: padTo(it.T, h.res.Schema, out.Schema), A: it.A})
+			part := &h.res.Parts[s]
+			for i := 0; i < part.Len(); i++ {
+				out.Parts[dst].Append(padTo(part.Tuple(i), h.res.Schema, out.Schema), part.Annot(i))
 			}
 		}
 		offset += h.pa
@@ -312,31 +313,28 @@ func hierCase2(sub *mpc.Cluster, active []*relation.Relation, fixed hypergraph.A
 func crossEmit(out *mpc.Dist, srv int, slices []*mpc.Dist, pos [][]int, coord []int, ring relation.Semiring) {
 	k := len(slices)
 	choice := make([]int, k)
-	for {
-		ok := true
-		for i := range slices {
-			if len(slices[i].Parts[coord[i]]) == 0 {
-				ok = false
-				break
-			}
-		}
-		if !ok {
+	parts := make([]*mpc.Columns, k)
+	for i := range slices {
+		parts[i] = &slices[i].Parts[coord[i]]
+		if parts[i].Len() == 0 {
 			return
 		}
+	}
+	for {
 		t := make(relation.Tuple, len(out.Schema))
 		annot := ring.One
 		for i := range slices {
-			it := slices[i].Parts[coord[i]][choice[i]]
+			tup := parts[i].Tuple(choice[i])
 			for j, p := range pos[i] {
-				t[p] = it.T[j]
+				t[p] = tup[j]
 			}
-			annot = ring.Mul(annot, it.A)
+			annot = ring.Mul(annot, parts[i].Annot(choice[i]))
 		}
-		out.Parts[srv] = append(out.Parts[srv], mpc.Item{T: t, A: annot})
+		out.Parts[srv].Append(t, annot)
 		i := k - 1
 		for ; i >= 0; i-- {
 			choice[i]++
-			if choice[i] < len(slices[i].Parts[coord[i]]) {
+			if choice[i] < parts[i].Len() {
 				break
 			}
 			choice[i] = 0

@@ -187,8 +187,7 @@ func foldInto(host, small *relation.Relation, keyAttrs []relation.Attr, ring rel
 func toDistInPlace(c *mpc.Cluster, r *relation.Relation, ring relation.Semiring) *mpc.Dist {
 	d := mpc.NewDist(c, r.Schema)
 	for i, t := range r.Tuples {
-		s := i % c.P
-		d.Parts[s] = append(d.Parts[s], mpc.Item{T: t, A: r.Annot(i)})
+		d.Parts[i%c.P].Append(t, r.Annot(i))
 	}
 	return d
 }

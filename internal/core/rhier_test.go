@@ -187,7 +187,7 @@ func TestRHierGridDeterministicAcrossWidths(t *testing.T) {
 	}
 
 	type run struct {
-		parts [][]mpc.Item
+		parts []mpc.Item
 		rel   *relation.Relation
 		stats mpc.Stats
 	}
@@ -198,7 +198,7 @@ func TestRHierGridDeterministicAcrossWidths(t *testing.T) {
 		c := mpc.NewCluster(p)
 		em := mpc.NewCollectEmitter(in.OutputSchema())
 		res := RHier(c, in, 1, em)
-		return run{parts: res.Parts, rel: em.Rel, stats: c.Snapshot()}
+		return run{parts: res.All(), rel: em.Rel, stats: c.Snapshot()}
 	}
 
 	ref := runAt(1)

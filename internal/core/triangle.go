@@ -94,17 +94,20 @@ func Triangle(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Di
 	runtime.Fork(c.P, func(sv int) {
 		// Index R2(A,C) by C and R3(A,B) by B.
 		byC := map[relation.Value][]mpc.Item{}
-		for _, it := range dAC.Parts[sv] {
+		for i, p := 0, &dAC.Parts[sv]; i < p.Len(); i++ {
+			it := p.Item(i)
 			byC[it.T[posOf(dAC, cc)]] = append(byC[it.T[posOf(dAC, cc)]], it)
 		}
 		byB := map[relation.Value][]mpc.Item{}
-		for _, it := range dAB.Parts[sv] {
+		for i, p := 0, &dAB.Parts[sv]; i < p.Len(); i++ {
+			it := p.Item(i)
 			byB[it.T[posOf(dAB, b)]] = append(byB[it.T[posOf(dAB, b)]], it)
 		}
 		pB, pC := posOf(dBC, b), posOf(dBC, cc)
 		pA2 := posOf(dAC, a)
 		pA3 := posOf(dAB, a)
-		for _, bc := range dBC.Parts[sv] {
+		for bi, pbc := 0, &dBC.Parts[sv]; bi < pbc.Len(); bi++ {
+			bc := pbc.Item(bi)
 			bv, cv := bc.T[pB], bc.T[pC]
 			acs := byC[cv]
 			abs := byB[bv]
@@ -122,7 +125,7 @@ func Triangle(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Di
 					t := make(relation.Tuple, len(outSchema))
 					t[outA], t[outB], t[outC] = av, bv, cv
 					annot := in.Ring.Mul(bc.A, in.Ring.Mul(acAnnot, ab.A))
-					res.Parts[sv] = append(res.Parts[sv], mpc.Item{T: t, A: annot})
+					res.Parts[sv].Append(t, annot)
 				}
 			}
 		}

@@ -119,12 +119,14 @@ func EmitDist(d *mpc.Dist, schema relation.Schema, em mpc.Emitter) {
 	}
 	pos := d.Positions([]relation.Attr(schema))
 	emitPart := func(s int, sink mpc.Emitter) {
-		for _, it := range d.Parts[s] {
+		part := &d.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			src := part.Tuple(i)
 			t := make(relation.Tuple, len(pos))
-			for i, p := range pos {
-				t[i] = it.T[p]
+			for j, p := range pos {
+				t[j] = src[p]
 			}
-			sink.Emit(s, t, it.A)
+			sink.Emit(s, t, part.Annot(i))
 		}
 	}
 	if direct, forkers, ok := shardableSinks(em, len(d.Parts)); ok && d.Size() >= emitSerialBelow {

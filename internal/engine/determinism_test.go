@@ -9,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/hypergraph"
 	"repro/internal/mpc"
+	"repro/internal/primitives"
 	"repro/internal/runtime"
 )
 
@@ -45,15 +46,24 @@ func renderCatalogRuns(t *testing.T, width int) string {
 // TestEngineDeterministicAcrossWidths is the data plane's end-to-end
 // guarantee: every engine result — including the table materialized
 // through the lock-free ShardedEmitter — is byte-identical between the
-// serial reference (width 1) and parallel widths. Run under -race (the
-// Makefile ci target does) this also proves the batched exchange, the
-// parallel sub-clusters, and the sharded emitters are data-race free.
+// serial reference (width 1) and parallel widths, with the columnar record
+// pool in both states. Run under -race (the Makefile ci target does) this
+// also proves the batched exchange, the parallel sub-clusters, the pooled
+// record columns, and the sharded emitters are data-race free.
 func TestEngineDeterministicAcrossWidths(t *testing.T) {
 	serial := renderCatalogRuns(t, 1)
-	for _, w := range []int{2, 8} {
-		if got := renderCatalogRuns(t, w); got != serial {
-			t.Fatalf("width %d differs from serial:\n--- width=1 ---\n%s\n--- width=%d ---\n%s",
-				w, serial, w, got)
+	for _, pooled := range []bool{true, false} {
+		prevPool := primitives.SetRecordPooling(pooled)
+		for _, w := range []int{1, 2, 8} {
+			if pooled && w == 1 {
+				continue // the reference render itself
+			}
+			if got := renderCatalogRuns(t, w); got != serial {
+				primitives.SetRecordPooling(prevPool)
+				t.Fatalf("pool=%v width %d differs from serial:\n--- reference ---\n%s\n--- got ---\n%s",
+					pooled, w, serial, got)
+			}
 		}
+		primitives.SetRecordPooling(prevPool)
 	}
 }

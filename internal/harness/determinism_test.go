@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/primitives"
 	"repro/internal/runtime"
 )
 
@@ -49,5 +50,13 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 	// And an odd width that cannot tile any experiment's task count evenly.
 	if odd := renderAll(3); odd != serial {
 		t.Fatalf("workers=3 output differs from workers=1")
+	}
+	// The columnar record pool is memory reuse only: with pooling disabled
+	// the full matrix — tables, loads, rounds, every Cluster charge — must
+	// stay byte-identical, serial and parallel.
+	prevPool := primitives.SetRecordPooling(false)
+	defer primitives.SetRecordPooling(prevPool)
+	if unpooled := renderAll(8); unpooled != serial {
+		t.Fatalf("pool=off output differs from pooled serial render")
 	}
 }

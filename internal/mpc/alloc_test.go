@@ -1,0 +1,57 @@
+package mpc
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// TestExchangeScatterAllocCeiling is the allocation-regression guard for
+// the batched exchange: a steady-state hash shuffle allocates the output
+// columns and the plan bookkeeping — NEVER anything per item. Before the
+// columnar refactor a shuffle cost ~3 allocations per item (key string,
+// destination slice, part growth); the pooled columnar plan sits around 33
+// for this configuration. The ceiling leaves room for pool misses after a
+// GC, but any per-item regression blows through it by two orders of
+// magnitude.
+func TestExchangeScatterAllocCeiling(t *testing.T) {
+	const p, n, ceiling = 16, 8192, 120
+	prev := runtime.SetParallelism(1)
+	defer runtime.SetParallelism(prev)
+	c := NewCluster(p)
+	d := exchangeTestDist(c, n, 11)
+	pos := []int{0}
+	d.ShuffleByKey(pos, 7) // warm the scratch pool
+	got := testing.AllocsPerRun(20, func() { d.ShuffleByKey(pos, 7) })
+	if got > ceiling {
+		t.Fatalf("exchange shuffle allocates %.0f per run (n=%d, p=%d), ceiling %d — per-item allocations are back",
+			got, n, p, ceiling)
+	}
+}
+
+// TestExchangeAnnotColumnElided pins the lazy annotation column: routing an
+// unannotated collection must not materialize annotation storage in any
+// output part, while an annotated input materializes it everywhere needed.
+func TestExchangeAnnotColumnElided(t *testing.T) {
+	c := NewCluster(8)
+	plain := FromRelation(c, mkRel(500)).ShuffleByKey([]int{0}, 3)
+	for s := range plain.Parts {
+		if plain.Parts[s].hasAnnots() {
+			t.Fatalf("server %d materialized an annotation column for an unannotated input", s)
+		}
+	}
+
+	r := mkRel(500)
+	r.AddAnnotated(7, 999, 0)
+	annotated := FromRelation(c, r).ShuffleByKey([]int{0}, 3)
+	sum := int64(0)
+	for s := range annotated.Parts {
+		part := &annotated.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			sum += part.Annot(i)
+		}
+	}
+	if sum != 500+7 {
+		t.Fatalf("annotation sum after shuffle = %d, want %d", sum, 500+7)
+	}
+}

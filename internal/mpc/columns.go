@@ -1,0 +1,199 @@
+package mpc
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Columns is the struct-of-arrays item store of the data plane: the tuples
+// and annotations of one server's part live in two parallel slices instead
+// of one []Item. Routing then moves each column with contiguous copies
+// (memcpy-style block moves, the ROADMAP's columnar-storage item) instead
+// of one 32-byte struct at a time, and stages that never look at
+// annotations never touch — or allocate — the annotation column at all.
+//
+// The annotation column is lazy: annots == nil means every annotation is 1
+// (the multiplicative identity of every semiring in the repository). Plain
+// joins — the common case — therefore carry no annotation storage through
+// any number of exchanges. The invariant is maintained by every mutator:
+// appending a non-identity annotation materializes the column, and bulk
+// copies from a materialized source materialize the destination before any
+// concurrent scatter begins (see exchangePlan.alloc). Because the
+// representation of "all ones" is not unique, compare Columns with Equal,
+// which compares values, never representations.
+type Columns struct {
+	tuples []relation.Tuple
+	annots []int64 // nil ⇒ every annotation is 1
+}
+
+// MakeColumns returns an empty column set with room for capacity rows.
+func MakeColumns(capacity int) Columns {
+	return Columns{tuples: make([]relation.Tuple, 0, capacity)}
+}
+
+// Len returns the number of rows.
+func (c *Columns) Len() int { return len(c.tuples) }
+
+// Tuple returns row i's tuple. The tuple is shared, not copied.
+func (c *Columns) Tuple(i int) relation.Tuple { return c.tuples[i] }
+
+// Annot returns row i's annotation.
+func (c *Columns) Annot(i int) int64 {
+	if c.annots == nil {
+		return 1
+	}
+	return c.annots[i]
+}
+
+// Item assembles row i as an Item (for callbacks that take items).
+func (c *Columns) Item(i int) Item { return Item{T: c.tuples[i], A: c.Annot(i)} }
+
+// materializeAnnots backfills the annotation column with 1s so that a
+// non-identity annotation can be stored.
+func (c *Columns) materializeAnnots() {
+	c.annots = make([]int64, len(c.tuples), cap(c.tuples))
+	for i := range c.annots {
+		c.annots[i] = 1
+	}
+}
+
+// Append adds one row.
+func (c *Columns) Append(t relation.Tuple, a int64) {
+	if a != 1 && c.annots == nil {
+		c.materializeAnnots()
+	}
+	c.tuples = append(c.tuples, t)
+	if c.annots != nil {
+		c.annots = append(c.annots, a)
+	}
+}
+
+// AppendItem adds one row from an Item.
+func (c *Columns) AppendItem(it Item) { c.Append(it.T, it.A) }
+
+// AppendColumns bulk-appends every row of src, one copy per column.
+func (c *Columns) AppendColumns(src *Columns) {
+	if src.annots != nil && c.annots == nil {
+		c.materializeAnnots()
+	}
+	c.tuples = append(c.tuples, src.tuples...)
+	if c.annots == nil {
+		return
+	}
+	if src.annots != nil {
+		c.annots = append(c.annots, src.annots...)
+		return
+	}
+	for range src.tuples {
+		c.annots = append(c.annots, 1)
+	}
+}
+
+// resize sets the row count to n, allocating exactly once per column; the
+// annotation column is allocated only when asked for. Used by the exchange
+// to pre-size destination parts before the parallel scatter.
+func (c *Columns) resize(n int, withAnnots bool) {
+	c.tuples = make([]relation.Tuple, n)
+	if withAnnots {
+		c.annots = make([]int64, n)
+	}
+}
+
+// copyAt block-copies src rows [lo, hi) into c starting at row off, one
+// contiguous copy per column. c must be pre-sized (resize); when c carries
+// annotations and src does not, the window is filled with 1s.
+func (c *Columns) copyAt(off int, src *Columns, lo, hi int) {
+	copy(c.tuples[off:], src.tuples[lo:hi])
+	if c.annots == nil {
+		return
+	}
+	if src.annots != nil {
+		copy(c.annots[off:], src.annots[lo:hi])
+		return
+	}
+	for i := off; i < off+(hi-lo); i++ {
+		c.annots[i] = 1
+	}
+}
+
+// setRow writes one pre-sized row. The caller must have materialized the
+// annotation column whenever a non-identity annotation can occur (the
+// exchange decides this once, before the scatter fans out).
+func (c *Columns) setRow(i int, t relation.Tuple, a int64) {
+	c.tuples[i] = t
+	if c.annots != nil {
+		c.annots[i] = a
+	} else if a != 1 {
+		panic("mpc: setRow with annotation on an identity column")
+	}
+}
+
+// Swap exchanges rows i and j in every column.
+func (c *Columns) Swap(i, j int) {
+	c.tuples[i], c.tuples[j] = c.tuples[j], c.tuples[i]
+	if c.annots != nil {
+		c.annots[i], c.annots[j] = c.annots[j], c.annots[i]
+	}
+}
+
+// Equal reports whether the two column sets hold the same rows — tuple
+// values and annotation values — regardless of whether either annotation
+// column is materialized.
+func (c *Columns) Equal(o *Columns) bool {
+	if c.Len() != o.Len() {
+		return false
+	}
+	for i := range c.tuples {
+		a, b := c.tuples[i], o.tuples[i]
+		if len(a) != len(b) {
+			return false
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+		if c.Annot(i) != o.Annot(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAnnots reports whether the annotation column is materialized.
+func (c *Columns) hasAnnots() bool { return c.annots != nil }
+
+// The exchange's per-task scratch — flat destination lists, fan-outs,
+// batch counts, write cursors — is recycled through a pool: the buffers
+// never escape a route call, so steady-state exchanges allocate only the
+// output parts themselves.
+var int32Pool sync.Pool
+
+// getInt32Cap returns a length-0 slice with capacity ≥ n.
+func getInt32Cap(n int) []int32 {
+	if v := int32Pool.Get(); v != nil {
+		s := v.([]int32)
+		if cap(s) >= n {
+			return s[:0]
+		}
+	}
+	return make([]int32, 0, n)
+}
+
+// getInt32Zero returns a zeroed slice of length n.
+func getInt32Zero(n int) []int32 {
+	s := getInt32Cap(n)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// putInt32 recycles a scratch slice (contents need not be cleared: the
+// slices carry no pointers and every consumer initializes before reading).
+func putInt32(s []int32) {
+	if cap(s) > 0 {
+		int32Pool.Put(s[:0])
+	}
+}

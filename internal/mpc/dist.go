@@ -5,35 +5,49 @@ import (
 	"repro/internal/runtime"
 )
 
-// Item is a tuple with its semiring annotation (1 for plain joins).
+// Item is a tuple with its semiring annotation (1 for plain joins). Parts
+// store items columnar (see Columns); Item remains the row view handed to
+// callbacks and returned by accessors.
 type Item struct {
 	T relation.Tuple
 	A int64
 }
 
 // Dist is a distributed collection of items over a cluster: Parts[s] holds
-// the items currently residing on server s. Every routing operation on a
-// Dist is one communication round and is charged to the cluster.
+// the items currently residing on server s, stored as struct-of-arrays
+// columns. Every routing operation on a Dist is one communication round and
+// is charged to the cluster.
 type Dist struct {
 	C      *Cluster
 	Schema relation.Schema
-	Parts  [][]Item
+	Parts  []Columns
 }
 
 // NewDist returns an empty distributed collection.
 func NewDist(c *Cluster, schema relation.Schema) *Dist {
-	return &Dist{C: c, Schema: schema, Parts: make([][]Item, c.P)}
+	return &Dist{C: c, Schema: schema, Parts: make([]Columns, c.P)}
+}
+
+// hasAnnots reports whether any part carries a materialized annotation
+// column — the exchange's one-shot decision for its output layout.
+func (d *Dist) hasAnnots() bool {
+	for s := range d.Parts {
+		if d.Parts[s].hasAnnots() {
+			return true
+		}
+	}
+	return false
 }
 
 // roundRobinParts pre-sizes parts for n items spread round-robin over c
 // and charges round 0 per server — the shared batched-placement plan of
-// FromRelation and MoveTo: one exact-capacity allocation per server, no
-// per-tuple charging.
-func roundRobinParts(c *Cluster, n int) [][]Item {
-	parts := make([][]Item, c.P)
+// FromRelation and MoveTo: one exact-size allocation per column per
+// server, no per-tuple charging and no intermediate Item structs.
+func roundRobinParts(c *Cluster, n int, withAnnots bool) []Columns {
+	parts := make([]Columns, c.P)
 	for s := 0; s < c.P && s < n; s++ {
 		cnt := (n - s + c.P - 1) / c.P
-		parts[s] = make([]Item, 0, cnt)
+		parts[s].resize(cnt, withAnnots)
 		c.input(s, cnt)
 	}
 	return parts
@@ -41,11 +55,24 @@ func roundRobinParts(c *Cluster, n int) [][]Item {
 
 // FromRelation distributes r round-robin over the cluster, charging the
 // initial placement to round 0 (the model's starting state: IN/p each).
+// The placement is columnar: each server's tuple column is filled with one
+// strided pass over the relation, and the annotation column exists only
+// when the relation is annotated.
 func FromRelation(c *Cluster, r *relation.Relation) *Dist {
 	d := NewDist(c, r.Schema)
-	d.Parts = roundRobinParts(c, len(r.Tuples))
-	for i, t := range r.Tuples {
-		d.Parts[i%c.P] = append(d.Parts[i%c.P], Item{T: t, A: r.Annot(i)})
+	n := len(r.Tuples)
+	withAnnots := r.Annots != nil
+	d.Parts = roundRobinParts(c, n, withAnnots)
+	for s := 0; s < c.P && s < n; s++ {
+		part := &d.Parts[s]
+		for j := range part.tuples {
+			part.tuples[j] = r.Tuples[s+j*c.P]
+		}
+		if withAnnots {
+			for j := range part.annots {
+				part.annots[j] = r.Annots[s+j*c.P]
+			}
+		}
 	}
 	return d
 }
@@ -53,8 +80,8 @@ func FromRelation(c *Cluster, r *relation.Relation) *Dist {
 // Size returns the total number of items across servers.
 func (d *Dist) Size() int {
 	n := 0
-	for _, p := range d.Parts {
-		n += len(p)
+	for s := range d.Parts {
+		n += d.Parts[s].Len()
 	}
 	return n
 }
@@ -62,8 +89,11 @@ func (d *Dist) Size() int {
 // All returns every item (server order). Used by tests and emitters.
 func (d *Dist) All() []Item {
 	out := make([]Item, 0, d.Size())
-	for _, p := range d.Parts {
-		out = append(out, p...)
+	for s := range d.Parts {
+		part := &d.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			out = append(out, part.Item(i))
+		}
 	}
 	return out
 }
@@ -75,10 +105,15 @@ func (d *Dist) ToRelation(name string) *relation.Relation {
 	n := d.Size()
 	r.Tuples = make([]relation.Tuple, 0, n)
 	r.Annots = make([]int64, 0, n)
-	for _, p := range d.Parts {
-		for _, it := range p {
-			r.Tuples = append(r.Tuples, it.T)
-			r.Annots = append(r.Annots, it.A)
+	for s := range d.Parts {
+		part := &d.Parts[s]
+		r.Tuples = append(r.Tuples, part.tuples...)
+		if part.annots != nil {
+			r.Annots = append(r.Annots, part.annots...)
+		} else {
+			for i := 0; i < part.Len(); i++ {
+				r.Annots = append(r.Annots, 1)
+			}
 		}
 	}
 	return r
@@ -90,12 +125,14 @@ func (d *Dist) Positions(attrs []relation.Attr) []int {
 }
 
 // ShuffleByKey hashes each item's projection onto pos and routes it to
-// hash % P. Salt decorrelates successive shuffles of the same keys.
+// hash % P. Salt decorrelates successive shuffles of the same keys. The
+// hash is computed straight off the tuple values (HashTupleAt), so the
+// routing pass allocates nothing per item.
 func (d *Dist) ShuffleByKey(pos []int, salt uint64) *Dist {
 	p := d.C.P
-	return d.route(d.Schema, func(_ int, it Item) []int {
-		return []int{int(Hash64(relation.KeyAt(it.T, pos), salt) % uint64(p))}
-	})
+	return d.route(d.Schema, router{one: func(_ int, it Item) int {
+		return int(HashTupleAt(it.T, pos, salt) % uint64(p))
+	}})
 }
 
 // ShuffleByAttrs hashes each item's projection onto attrs (resolved against
@@ -106,13 +143,13 @@ func (d *Dist) ShuffleByAttrs(attrs []relation.Attr, salt uint64) *Dist {
 
 // ShuffleBy routes each item to the single server chosen by f.
 func (d *Dist) ShuffleBy(f func(it Item) int) *Dist {
-	return d.route(d.Schema, func(_ int, it Item) []int { return []int{f(it)} })
+	return d.route(d.Schema, router{one: func(_ int, it Item) int { return f(it) }})
 }
 
 // ReplicateBy routes each item to every server chosen by f (used by
 // HyperCube-style plans where a tuple is copied along grid dimensions).
 func (d *Dist) ReplicateBy(f func(it Item) []int) *Dist {
-	return d.route(d.Schema, func(_ int, it Item) []int { return f(it) })
+	return d.route(d.Schema, router{many: func(_ int, it Item) []int { return f(it) }})
 }
 
 // Broadcast copies every item to all servers: one round, load = Size() per
@@ -122,27 +159,30 @@ func (d *Dist) Broadcast() *Dist {
 	for i := range all {
 		all[i] = i
 	}
-	return d.route(d.Schema, func(_ int, _ Item) []int { return all })
+	return d.route(d.Schema, router{many: func(_ int, _ Item) []int { return all }})
 }
 
 // GatherTo ships everything to a single server.
 func (d *Dist) GatherTo(s int) *Dist {
-	return d.route(d.Schema, func(_ int, _ Item) []int { return []int{s} })
+	return d.route(d.Schema, router{one: func(_ int, _ Item) int { return s }})
 }
 
 // MapLocal rewrites every item locally (no communication, no new round).
 // f returns the replacement items for one input item; it must be safe for
 // concurrent calls — parts are transformed in parallel, one task per part.
 func (d *Dist) MapLocal(schema relation.Schema, f func(s int, it Item) []Item) *Dist {
-	out := &Dist{C: d.C, Schema: schema, Parts: make([][]Item, d.C.P)}
+	out := &Dist{C: d.C, Schema: schema, Parts: make([]Columns, d.C.P)}
 	runtime.Fork(len(d.Parts), func(s int) {
-		part := d.Parts[s]
-		if len(part) == 0 {
+		part := &d.Parts[s]
+		n := part.Len()
+		if n == 0 {
 			return
 		}
-		res := make([]Item, 0, len(part))
-		for _, it := range part {
-			res = append(res, f(s, it)...)
+		res := MakeColumns(n)
+		for i := 0; i < n; i++ {
+			for _, it := range f(s, part.Item(i)) {
+				res.AppendItem(it)
+			}
 		}
 		out.Parts[s] = res
 	})
@@ -152,12 +192,13 @@ func (d *Dist) MapLocal(schema relation.Schema, f func(s int, it Item) []Item) *
 // FilterLocal keeps items satisfying pred; local, free. pred must be safe
 // for concurrent calls — parts are filtered in parallel, one task per part.
 func (d *Dist) FilterLocal(pred func(it Item) bool) *Dist {
-	out := &Dist{C: d.C, Schema: d.Schema, Parts: make([][]Item, d.C.P)}
+	out := &Dist{C: d.C, Schema: d.Schema, Parts: make([]Columns, d.C.P)}
 	runtime.Fork(len(d.Parts), func(s int) {
-		var res []Item
-		for _, it := range d.Parts[s] {
-			if pred(it) {
-				res = append(res, it)
+		part := &d.Parts[s]
+		var res Columns
+		for i := 0; i < part.Len(); i++ {
+			if it := part.Item(i); pred(it) {
+				res.AppendItem(it)
 			}
 		}
 		out.Parts[s] = res
@@ -165,18 +206,19 @@ func (d *Dist) FilterLocal(pred func(it Item) bool) *Dist {
 	return out
 }
 
-// Concat unions several collections sharing a schema; local, free.
+// Concat unions several collections sharing a schema; local, free. Parts
+// merge with one copy per column.
 func Concat(ds ...*Dist) *Dist {
 	if len(ds) == 0 {
 		panic("mpc: Concat of nothing")
 	}
-	out := &Dist{C: ds[0].C, Schema: ds[0].Schema, Parts: make([][]Item, ds[0].C.P)}
+	out := &Dist{C: ds[0].C, Schema: ds[0].Schema, Parts: make([]Columns, ds[0].C.P)}
 	for _, d := range ds {
 		if !d.Schema.Equal(out.Schema) {
 			panic("mpc: Concat schema mismatch")
 		}
-		for s, part := range d.Parts {
-			out.Parts[s] = append(out.Parts[s], part...)
+		for s := range d.Parts {
+			out.Parts[s].AppendColumns(&d.Parts[s])
 		}
 	}
 	return out
@@ -185,13 +227,19 @@ func Concat(ds ...*Dist) *Dist {
 // MoveTo re-registers the collection on another cluster, charging the new
 // cluster's round 0 with the items as its initial input. Used when handing
 // a sub-problem to a sub-cluster; items are spread round-robin through the
-// same batched placement as FromRelation.
+// same batched columnar placement as FromRelation.
 func (d *Dist) MoveTo(sub *Cluster) *Dist {
-	out := &Dist{C: sub, Schema: d.Schema, Parts: roundRobinParts(sub, d.Size())}
+	withAnnots := d.hasAnnots()
+	out := &Dist{C: sub, Schema: d.Schema, Parts: roundRobinParts(sub, d.Size(), withAnnots)}
 	i := 0
-	for _, part := range d.Parts {
-		for _, it := range part {
-			out.Parts[i%sub.P] = append(out.Parts[i%sub.P], it)
+	for s := range d.Parts {
+		part := &d.Parts[s]
+		for j := 0; j < part.Len(); j++ {
+			dst := &out.Parts[i%sub.P]
+			dst.tuples[i/sub.P] = part.tuples[j]
+			if withAnnots {
+				dst.annots[i/sub.P] = part.Annot(j)
+			}
 			i++
 		}
 	}

@@ -142,17 +142,18 @@ func (e *PerServerCounter) Merge(workers ...*PerServerCounter) {
 // runs. This is what lets materializing runs drop Synchronized's mutex.
 type ShardedEmitter struct {
 	schema relation.Schema
-	parts  [][]Item
+	parts  []Columns
 }
 
 // NewShardedEmitter returns a sharded collector over the given output
 // schema with one buffer per partition (one per server of the emitting
-// cluster).
+// cluster). Buffers are columnar: plain joins never materialize an
+// annotation column in the buffers.
 func NewShardedEmitter(schema relation.Schema, parts int) *ShardedEmitter {
 	if parts < 1 {
 		parts = 1
 	}
-	return &ShardedEmitter{schema: schema, parts: make([][]Item, parts)}
+	return &ShardedEmitter{schema: schema, parts: make([]Columns, parts)}
 }
 
 // Emit implements Emitter. Concurrent calls are safe if and only if each
@@ -162,7 +163,7 @@ func (e *ShardedEmitter) Emit(server int, t relation.Tuple, annot int64) {
 	if server < 0 || server >= len(e.parts) {
 		panic("mpc: ShardedEmitter partition out of range")
 	}
-	e.parts[server] = append(e.parts[server], Item{T: t.Clone(), A: annot})
+	e.parts[server].Append(t.Clone(), annot)
 }
 
 // Partitions reports the number of buffers.
@@ -174,22 +175,28 @@ func (e *ShardedEmitter) Partitioned(parts int) bool { return len(e.parts) >= pa
 // N returns the total number of emitted results across partitions.
 func (e *ShardedEmitter) N() int64 {
 	n := int64(0)
-	for _, p := range e.parts {
-		n += int64(len(p))
+	for s := range e.parts {
+		n += int64(e.parts[s].Len())
 	}
 	return n
 }
 
-// Rel merges the buffers into one relation, partition-major.
+// Rel merges the buffers into one relation, partition-major, one copy per
+// column per partition.
 func (e *ShardedEmitter) Rel() *relation.Relation {
 	r := relation.New("out", e.schema)
 	n := e.N()
 	r.Tuples = make([]relation.Tuple, 0, n)
 	r.Annots = make([]int64, 0, n)
-	for _, p := range e.parts {
-		for _, it := range p {
-			r.Tuples = append(r.Tuples, it.T)
-			r.Annots = append(r.Annots, it.A)
+	for s := range e.parts {
+		p := &e.parts[s]
+		r.Tuples = append(r.Tuples, p.tuples...)
+		if p.annots != nil {
+			r.Annots = append(r.Annots, p.annots...)
+		} else {
+			for i := 0; i < p.Len(); i++ {
+				r.Annots = append(r.Annots, 1)
+			}
 		}
 	}
 	return r

@@ -14,15 +14,24 @@ import (
 //  1. Plan (count). The source parts are cut into contiguous spans, one
 //     per worker task. Each task walks its span once, resolves every
 //     item's destination list exactly once, and records the flattened
-//     destinations in (source, item, fan-out) order, the per-item fan-out,
-//     and a dense per-destination item count. No output memory is touched.
+//     destinations in (source, item, fan-out) order, the per-item fan-out
+//     (elided entirely while the span is uniformly fan-out 1), and a dense
+//     per-destination item count. No output memory is touched.
 //  2. Scatter. The coordinator sums the per-task counts into exact
-//     per-destination totals, allocates every destination part once at
-//     exact capacity, and derives each task's first write offset per
+//     per-destination totals, sizes every destination part's columns once
+//     at exact capacity — the annotation column only when some source part
+//     carries one — and derives each task's first write offset per
 //     destination (prefix sums in task order). Tasks then re-walk their
-//     spans and write items into disjoint, pre-sized slices — no locks, no
-//     growth reallocation — and charge their deliveries to their own
-//     Cluster.Shard, folded at the next round barrier.
+//     spans and write rows into disjoint, pre-sized column windows — no
+//     locks, no growth reallocation. Runs of consecutive items bound for
+//     the same destination (gathers, sub-cluster hand-offs, skew clusters)
+//     move as contiguous per-column block copies. Each task charges its
+//     deliveries to its own Cluster.Shard, folded at the next round
+//     barrier.
+//
+// All per-task scratch (destination lists, fan-outs, counts, offsets,
+// cursors) is recycled through a pool: a steady-state exchange allocates
+// the output columns and nothing else.
 //
 // The output is byte-identical to the serial tuple-at-a-time loop for
 // every worker count: spans are contiguous in source order and offsets are
@@ -30,13 +39,21 @@ import (
 // the serial (source, item, fan-out) order. runtime.SetParallelism(1) is
 // the reference execution.
 //
-// The dest callback must be safe for concurrent calls (a pure function of
-// its arguments); every dest function in this repository is.
+// The router callbacks must be safe for concurrent calls (pure functions
+// of their arguments); every one in this repository is.
 
 // exchangeSerialBelow is the item count under which an exchange skips
 // multi-task planning: the plan is identical, only the task count changes,
 // and the output is byte-identical either way.
 const exchangeSerialBelow = 1 << 12
+
+// router resolves an item's destinations. Exactly one field is set:
+// single-destination operations (hash shuffles, gathers) use one, which
+// never allocates a per-item slice; replicating operations use many.
+type router struct {
+	one  func(s int, it Item) int
+	many func(s int, it Item) []int
+}
 
 // ExchangeStats counts the work done by the batched exchange on one
 // cluster. All values are deterministic: they depend on the routed data
@@ -62,12 +79,12 @@ type span struct {
 	loOff, hiOff int // item offsets into parts lo and hi−1
 }
 
-// each walks the span's items, handing fn each covered source index with
-// its covered slice, in order.
-func (sp span) each(parts [][]Item, fn func(s int, items []Item)) {
+// each walks the span's rows, handing fn each covered source index with
+// its covered row range, in order.
+func (sp span) each(parts []Columns, fn func(s int, cols *Columns, lo, hi int)) {
 	for s := sp.lo; s < sp.hi; s++ {
-		items := parts[s]
-		start, end := 0, len(items)
+		cols := &parts[s]
+		start, end := 0, cols.Len()
 		if s == sp.lo {
 			start = sp.loOff
 		}
@@ -75,7 +92,7 @@ func (sp span) each(parts [][]Item, fn func(s int, items []Item)) {
 			end = sp.hiOff
 		}
 		if start < end {
-			fn(s, items[start:end])
+			fn(s, cols, start, end)
 		}
 	}
 }
@@ -85,7 +102,7 @@ type exchangePlan struct {
 	p      int
 	spans  []span
 	dests  [][]int32 // per task: flat destinations in (source, item, fan-out) order
-	fans   [][]int32 // per task: destinations per item, in (source, item) order
+	fans   [][]int32 // per task: destinations per item, in (source, item) order; nil when uniformly 1
 	counts [][]int32 // per task: dense per-destination item counts, len p
 	totals []int     // per destination: Σ over tasks
 	bases  [][]int32 // per task: first write offset per destination
@@ -96,10 +113,10 @@ type exchangePlan struct {
 // Spans partition the items in global (source, item) order, so the
 // scatter's concatenation order — and therefore the output — is the same
 // for every task count.
-func planSpans(parts [][]Item, tasks int) []span {
+func planSpans(parts []Columns, tasks int) []span {
 	total := 0
-	for _, p := range parts {
-		total += len(p)
+	for s := range parts {
+		total += parts[s].Len()
 	}
 	if tasks > total {
 		tasks = total
@@ -120,7 +137,7 @@ func planSpans(parts [][]Item, tasks int) []span {
 		}
 		sp := span{lo: s, loOff: off}
 		for want > 0 {
-			avail := len(parts[s]) - off
+			avail := parts[s].Len() - off
 			if avail == 0 {
 				s, off = s+1, 0
 				continue
@@ -134,7 +151,7 @@ func planSpans(parts [][]Item, tasks int) []span {
 		}
 		sp.hi, sp.hiOff = s+1, off
 		spans = append(spans, sp)
-		if off == len(parts[s]) {
+		if off == parts[s].Len() {
 			s, off = s+1, 0
 		}
 	}
@@ -142,7 +159,7 @@ func planSpans(parts [][]Item, tasks int) []span {
 }
 
 // newExchangePlan runs the counting pass over d with the given task count.
-func newExchangePlan(d *Dist, dest func(s int, it Item) []int, tasks int) *exchangePlan {
+func newExchangePlan(d *Dist, rt router, tasks int) *exchangePlan {
 	p := d.C.P
 	plan := &exchangePlan{p: p, spans: planSpans(d.Parts, tasks)}
 	n := len(plan.spans)
@@ -151,24 +168,47 @@ func newExchangePlan(d *Dist, dest func(s int, it Item) []int, tasks int) *excha
 	plan.counts = make([][]int32, n)
 	runtime.Fork(n, func(w int) {
 		sp := plan.spans[w]
-		cnt := make([]int32, p)
+		cnt := getInt32Zero(p)
 		items := 0
-		sp.each(d.Parts, func(_ int, chunk []Item) { items += len(chunk) })
-		flat := make([]int32, 0, items) // fan-out is 1 in the common case
-		fan := make([]int32, 0, items)
-		sp.each(d.Parts, func(s int, chunk []Item) {
-			for _, it := range chunk {
-				ts := dest(s, it)
-				for _, t := range ts {
+		sp.each(d.Parts, func(_ int, _ *Columns, lo, hi int) { items += hi - lo })
+		flat := getInt32Cap(items) // fan-out is 1 in the common case
+		var fan []int32            // lazily materialized on the first fan-out ≠ 1
+		seen := 0
+		if rt.one != nil {
+			sp.each(d.Parts, func(s int, cols *Columns, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					t := rt.one(s, cols.Item(i))
 					if t < 0 || t >= p {
 						panic(fmt.Sprintf("mpc: route to invalid server %d", t))
 					}
 					flat = append(flat, int32(t))
 					cnt[t]++
 				}
-				fan = append(fan, int32(len(ts)))
-			}
-		})
+			})
+		} else {
+			sp.each(d.Parts, func(s int, cols *Columns, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ts := rt.many(s, cols.Item(i))
+					for _, t := range ts {
+						if t < 0 || t >= p {
+							panic(fmt.Sprintf("mpc: route to invalid server %d", t))
+						}
+						flat = append(flat, int32(t))
+						cnt[t]++
+					}
+					if fan == nil && len(ts) != 1 {
+						fan = getInt32Cap(items)
+						for k := 0; k < seen; k++ {
+							fan = append(fan, 1)
+						}
+					}
+					if fan != nil {
+						fan = append(fan, int32(len(ts)))
+					}
+					seen++
+				}
+			})
+		}
 		plan.dests[w] = flat
 		plan.fans[w] = fan
 		plan.counts[w] = cnt
@@ -176,13 +216,15 @@ func newExchangePlan(d *Dist, dest func(s int, it Item) []int, tasks int) *excha
 	return plan
 }
 
-// alloc sums the per-task counts into exact destination capacities,
-// allocates out's parts once, and derives each task's write offsets.
-func (plan *exchangePlan) alloc(out *Dist) {
+// alloc sums the per-task counts into exact destination capacities, sizes
+// out's columns once, and derives each task's write offsets. The output
+// carries annotation columns only when some source part does.
+func (plan *exchangePlan) alloc(d, out *Dist) {
+	withAnnots := d.hasAnnots()
 	plan.totals = make([]int, plan.p)
 	plan.bases = make([][]int32, len(plan.spans))
 	for w := range plan.spans {
-		base := make([]int32, plan.p)
+		base := getInt32Zero(plan.p)
 		for t, n := range plan.counts[w] {
 			base[t] = int32(plan.totals[t])
 			plan.totals[t] += int(n)
@@ -191,31 +233,50 @@ func (plan *exchangePlan) alloc(out *Dist) {
 	}
 	for t, n := range plan.totals {
 		if n > 0 {
-			out.Parts[t] = make([]Item, n)
+			out.Parts[t].resize(n, withAnnots)
 		}
 	}
 }
 
-// scatter fans the items out into out's pre-sized parts. Task w writes the
-// half-open offset ranges [bases[w][t], bases[w][t]+counts[w][t]) — disjoint
-// across tasks by construction — and charges its deliveries to its own
+// scatter fans the items out into out's pre-sized column windows. Task w
+// writes the half-open offset ranges [bases[w][t], bases[w][t]+counts[w][t])
+// — disjoint across tasks by construction — moving runs of same-destination
+// items as per-column block copies, and charges its deliveries to its own
 // cluster shard.
 func (plan *exchangePlan) scatter(d, out *Dist) {
 	runtime.Fork(len(plan.spans), func(w int) {
 		sp := plan.spans[w]
-		cursor := make([]int32, plan.p)
+		cursor := getInt32Zero(plan.p)
 		copy(cursor, plan.bases[w])
 		flat, fan := plan.dests[w], plan.fans[w]
 		di, fi := 0, 0
-		sp.each(d.Parts, func(_ int, chunk []Item) {
-			for _, it := range chunk {
+		sp.each(d.Parts, func(_ int, cols *Columns, lo, hi int) {
+			if fan == nil {
+				// Uniform fan-out 1: flat[k] is row (lo+k)'s destination.
+				// Runs of equal destinations become block copies.
+				i := lo
+				for i < hi {
+					t := flat[di]
+					j, dj := i+1, di+1
+					for j < hi && flat[dj] == t {
+						j++
+						dj++
+					}
+					out.Parts[t].copyAt(int(cursor[t]), cols, i, j)
+					cursor[t] += int32(j - i)
+					i, di = j, dj
+				}
+				return
+			}
+			for i := lo; i < hi; i++ {
 				k := int(fan[fi])
 				fi++
+				t, a := cols.Tuple(i), cols.Annot(i)
 				for j := 0; j < k; j++ {
-					t := flat[di]
+					dst := flat[di]
 					di++
-					out.Parts[t][cursor[t]] = it
-					cursor[t]++
+					out.Parts[dst].setRow(int(cursor[dst]), t, a)
+					cursor[dst]++
 				}
 			}
 		})
@@ -225,23 +286,47 @@ func (plan *exchangePlan) scatter(d, out *Dist) {
 				sh.Receive(t, int(n))
 			}
 		}
+		putInt32(cursor)
 	})
+}
+
+// release returns the plan's pooled scratch. The plan must not be used
+// afterwards.
+func (plan *exchangePlan) release() {
+	for w := range plan.spans {
+		putInt32(plan.dests[w])
+		if plan.fans[w] != nil {
+			putInt32(plan.fans[w])
+		}
+		putInt32(plan.counts[w])
+		if plan.bases != nil {
+			putInt32(plan.bases[w])
+		}
+	}
+	plan.dests, plan.fans, plan.counts, plan.bases = nil, nil, nil, nil
 }
 
 // route ships items to destination servers and charges one round through
 // the batched exchange (see the protocol comment above).
-func (d *Dist) route(schema relation.Schema, dest func(s int, it Item) []int) *Dist {
-	c := d.C
-	out := &Dist{C: c, Schema: schema, Parts: make([][]Item, c.P)}
-	c.newRound()
-
+func (d *Dist) route(schema relation.Schema, rt router) *Dist {
 	tasks := runtime.Parallelism()
 	if d.Size() < exchangeSerialBelow {
 		tasks = 1
 	}
-	plan := newExchangePlan(d, dest, tasks)
-	plan.alloc(out)
+	return d.routeTasks(schema, rt, tasks)
+}
+
+// routeTasks is route with an explicit task count — the fuzz and parity
+// tests use it to force multi-task plans below exchangeSerialBelow.
+func (d *Dist) routeTasks(schema relation.Schema, rt router, tasks int) *Dist {
+	c := d.C
+	out := &Dist{C: c, Schema: schema, Parts: make([]Columns, c.P)}
+	c.newRound()
+
+	plan := newExchangePlan(d, rt, tasks)
+	plan.alloc(d, out)
 	plan.scatter(d, out)
 	c.recordExchange(plan.totals)
+	plan.release()
 	return out
 }

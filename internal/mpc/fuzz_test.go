@@ -1,0 +1,72 @@
+package mpc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// FuzzExchangeParity fuzzes the batched columnar exchange against the
+// retained tuple-at-a-time serialRouteRef: random tuple sets (sizes, key
+// skews, annotation presence), every routing shape, and arbitrary task
+// counts must produce value-identical parts and byte-identical per-round
+// charge tables. Run continuously by `make fuzz-smoke` (part of ci).
+func FuzzExchangeParity(f *testing.F) {
+	// Seed corpus from the adversarial-skew cases of the parity tests:
+	// zipf-ish keys, one gathered (fully skewed) source, a heavy-key set,
+	// annotated and unannotated, every shape index, serial and oversized
+	// task counts.
+	f.Add(uint64(11), uint16(2000), uint8(0), uint8(1), uint8(16), false, false)
+	f.Add(uint64(11), uint16(2000), uint8(0), uint8(8), uint8(16), false, false)
+	f.Add(uint64(31), uint16(1500), uint8(1), uint8(4), uint8(16), true, false)
+	f.Add(uint64(23), uint16(997), uint8(2), uint8(3), uint8(7), false, true)
+	f.Add(uint64(5), uint16(64), uint8(3), uint8(2), uint8(4), true, true)
+	f.Add(uint64(7), uint16(0), uint8(4), uint8(5), uint8(3), false, false)
+	f.Add(uint64(42), uint16(300), uint8(4), uint8(33), uint8(1), true, false)
+
+	shapeNames := []string{"hash", "replicate2", "fanout0to2", "broadcast", "gather"}
+
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, shape, tasks, p uint8, annotated, gathered bool) {
+		pp := int(p)%16 + 1
+		nn := int(n) % 4096
+		nTasks := int(tasks)%12 + 1
+		dest := destFns(pp)[shapeNames[int(shape)%len(shapeNames)]]
+
+		build := func() *Dist {
+			c := NewCluster(pp)
+			r := relation.New("R", relation.NewSchema(1, 2))
+			rng := NewRng(seed)
+			for i := 0; i < nn; i++ {
+				v := rng.Intn(1 + rng.Intn(1+nn/8))
+				if annotated {
+					r.AddAnnotated(int64(rng.Intn(5)), relation.Value(v), relation.Value(i))
+				} else {
+					r.Add(relation.Value(v), relation.Value(i))
+				}
+			}
+			d := FromRelation(c, r)
+			if gathered {
+				// Fully skewed source: every item in one part.
+				d = d.GatherTo(int(seed % uint64(pp)))
+			}
+			return d
+		}
+
+		ref := build()
+		refOut := serialRouteRef(ref, ref.Schema, dest)
+		refTable := roundTable(ref.C)
+
+		got := build()
+		gotOut := got.routeTasks(got.Schema, router{many: dest}, nTasks)
+		gotTable := roundTable(got.C)
+
+		if !partsEqual(refOut, gotOut) {
+			t.Fatalf("parts differ from serial reference (n=%d p=%d tasks=%d shape=%s)",
+				nn, pp, nTasks, shapeNames[int(shape)%len(shapeNames)])
+		}
+		if !reflect.DeepEqual(refTable, gotTable) {
+			t.Fatalf("charge tables differ:\nref %v\ngot %v", refTable, gotTable)
+		}
+	})
+}

@@ -45,9 +45,10 @@ func TestShuffleByKeyRoundAndLoad(t *testing.T) {
 	// Same key must land on the same server.
 	pos := s.Positions([]relation.Attr{1})
 	loc := map[string]int{}
-	for srv, part := range s.Parts {
-		for _, it := range part {
-			k := relation.KeyAt(it.T, pos)
+	for srv := range s.Parts {
+		part := &s.Parts[srv]
+		for i := 0; i < part.Len(); i++ {
+			k := relation.KeyAt(part.Tuple(i), pos)
 			if prev, ok := loc[k]; ok && prev != srv {
 				t.Fatalf("key split across servers %d and %d", prev, srv)
 			}
@@ -67,9 +68,9 @@ func TestShuffleSkewConcentrates(t *testing.T) {
 	d := FromRelation(c, r)
 	s := d.ShuffleByKey(d.Positions([]relation.Attr{1}), 3)
 	max := 0
-	for _, part := range s.Parts {
-		if len(part) > max {
-			max = len(part)
+	for srv := range s.Parts {
+		if n := s.Parts[srv].Len(); n > max {
+			max = n
 		}
 	}
 	if max != 64 {
@@ -96,11 +97,11 @@ func TestGatherTo(t *testing.T) {
 	c := NewCluster(4)
 	d := FromRelation(c, mkRel(40))
 	g := d.GatherTo(2)
-	if len(g.Parts[2]) != 40 {
-		t.Errorf("gather target has %d", len(g.Parts[2]))
+	if g.Parts[2].Len() != 40 {
+		t.Errorf("gather target has %d", g.Parts[2].Len())
 	}
-	for s, part := range g.Parts {
-		if s != 2 && len(part) != 0 {
+	for s := range g.Parts {
+		if s != 2 && g.Parts[s].Len() != 0 {
 			t.Errorf("server %d not empty", s)
 		}
 	}
@@ -110,8 +111,8 @@ func TestReplicateBy(t *testing.T) {
 	c := NewCluster(4)
 	d := FromRelation(c, mkRel(10))
 	r := d.ReplicateBy(func(it Item) []int { return []int{0, 3} })
-	if len(r.Parts[0]) != 10 || len(r.Parts[3]) != 10 {
-		t.Errorf("replicate parts = %d,%d", len(r.Parts[0]), len(r.Parts[3]))
+	if r.Parts[0].Len() != 10 || r.Parts[3].Len() != 10 {
+		t.Errorf("replicate parts = %d,%d", r.Parts[0].Len(), r.Parts[3].Len())
 	}
 }
 
@@ -258,6 +259,34 @@ func TestRngPerm(t *testing.T) {
 			t.Fatalf("bad permutation %v", p)
 		}
 		seen[v] = true
+	}
+}
+
+// TestHashTupleAtMatchesHash64 pins the bit-identity ShuffleByKey's
+// routing depends on: hashing tuple values directly must equal hashing
+// the encoded key string, for random tuples, projections and salts.
+func TestHashTupleAtMatchesHash64(t *testing.T) {
+	rng := NewRng(77)
+	for trial := 0; trial < 500; trial++ {
+		width := 1 + rng.Intn(5)
+		tu := make(relation.Tuple, width)
+		for i := range tu {
+			// Mix small, negative, and full-range values.
+			tu[i] = relation.Value(rng.Next()) >> uint(rng.Intn(64))
+			if rng.Intn(2) == 0 {
+				tu[i] = -tu[i]
+			}
+		}
+		k := 1 + rng.Intn(width)
+		pos := make([]int, k)
+		for i := range pos {
+			pos[i] = rng.Intn(width)
+		}
+		salt := rng.Next()
+		if got, want := HashTupleAt(tu, pos, salt), Hash64(relation.KeyAt(tu, pos), salt); got != want {
+			t.Fatalf("trial %d: HashTupleAt=%#x, Hash64(KeyAt)=%#x (tuple %v, pos %v, salt %#x)",
+				trial, got, want, tu, pos, salt)
+		}
 	}
 }
 

@@ -1,5 +1,7 @@
 package mpc
 
+import "repro/internal/relation"
+
 // Rng is a splitmix64 pseudo-random generator: tiny, fast, and with
 // explicit state so every simulation is reproducible from its seed.
 type Rng struct{ state uint64 }
@@ -66,6 +68,27 @@ func Hash64(key string, salt uint64) uint64 {
 		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
+	return hashFinalize(h)
+}
+
+// HashTupleAt hashes the projection of t onto pos, producing exactly
+// Hash64(relation.KeyAt(t, pos), salt) without materializing the key
+// string: it feeds the same 8 big-endian bytes per value straight into the
+// FNV core. The hot shuffles route through this, so a hash exchange
+// allocates nothing per item.
+func HashTupleAt(t relation.Tuple, pos []int, salt uint64) uint64 {
+	h := uint64(14695981039346656037) ^ (salt * 0x9e3779b97f4a7c15)
+	for _, p := range pos {
+		v := uint64(t[p]) ^ (1 << 63)
+		for shift := 56; shift >= 0; shift -= 8 {
+			h ^= (v >> uint(shift)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return hashFinalize(h)
+}
+
+func hashFinalize(h uint64) uint64 {
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27

@@ -1,0 +1,71 @@
+package primitives
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpc"
+	"repro/internal/relation"
+	"repro/internal/runtime"
+)
+
+// TestLookupAllocCeiling is the allocation-regression guard for the
+// columnar record pool: a steady-state Lookup allocates roughly one key
+// string per distinct key (the per-generation interning) plus the output
+// parts — never a fresh record slice, sort scratch, or per-item keys.
+// Before the pool a call at this size cost ~3 allocations per record; the
+// pooled path sits around 2.4k for 2048 distinct keys. The ceiling
+// (2·distinct + 1k) leaves room for pool misses after a GC while any
+// per-item regression overshoots it several-fold.
+func TestLookupAllocCeiling(t *testing.T) {
+	const n, distinct = 8192, 2048
+	const ceiling = 2*distinct + 1024
+	prev := runtime.SetParallelism(1)
+	defer runtime.SetParallelism(prev)
+
+	c := mpc.NewCluster(16)
+	rng := rand.New(rand.NewSource(3))
+	x := relation.New("X", relation.NewSchema(1, 2))
+	for i := 0; i < n; i++ {
+		x.Add(relation.Value(rng.Intn(distinct)), relation.Value(i))
+	}
+	d := relation.New("D", relation.NewSchema(1))
+	for k := 0; k < distinct; k++ {
+		d.AddAnnotated(int64(k), relation.Value(k))
+	}
+	dx, dd := mpc.FromRelation(c, x), mpc.FromRelation(c, d)
+	attach := func() {
+		AttachAnnot(dx, []relation.Attr{1}, dd, []relation.Attr{1}, relation.CountRing, true)
+	}
+	attach() // warm the record pool
+	got := testing.AllocsPerRun(10, attach)
+	if got > ceiling {
+		t.Fatalf("Lookup allocates %.0f per run (n=%d, distinct=%d), ceiling %d — the record pool has regressed",
+			got, n, distinct, ceiling)
+	}
+}
+
+// TestSampleSortAllocCeiling pins the rank-vector sort: sorting a pooled
+// record set in steady state must not allocate per record (the old []rec
+// path allocated a full record scratch buffer every call).
+func TestSampleSortAllocCeiling(t *testing.T) {
+	const n, ceiling = 8192, 64
+	prev := runtime.SetParallelism(2)
+	defer runtime.SetParallelism(prev)
+
+	base := benchRecs(n, true, 7)
+	sortOnce := func() {
+		rc := getRecCols(n)
+		for _, r := range base {
+			rc.append(r.key, r.tag, r.it.T, r.it.A)
+		}
+		sampleSortCols(rc, 2)
+		putRecCols(rc)
+	}
+	sortOnce() // warm the scratch pool
+	got := testing.AllocsPerRun(10, sortOnce)
+	if got > ceiling {
+		t.Fatalf("sample sort allocates %.0f per run (n=%d), ceiling %d — the sort scratch pool has regressed",
+			got, n, ceiling)
+	}
+}

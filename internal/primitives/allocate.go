@@ -21,13 +21,14 @@ func (r Range) Width() int { return r.Hi - r.Lo }
 func AllocateServers(dir *mpc.Dist) map[string]Range {
 	out := make(map[string]Range, dir.Size())
 	offset := 0
-	for _, part := range dir.Parts {
-		for _, it := range part {
-			k := relation.EncodeTuple(it.T)
+	for s := range dir.Parts {
+		part := &dir.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			k := relation.EncodeTuple(part.Tuple(i))
 			if _, dup := out[k]; dup {
 				panic("primitives: AllocateServers duplicate subproblem key")
 			}
-			w := int(it.A)
+			w := int(part.Annot(i))
 			if w < 1 {
 				panic("primitives: AllocateServers non-positive width")
 			}

@@ -1,0 +1,62 @@
+package primitives
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mpc"
+)
+
+// FuzzSampleSortParity fuzzes the columnar rank-vector sample sort against
+// the retained serialSortAndChopRef: random sizes, key ranges, tag mixes,
+// partition widths, cluster sizes, and the record pool in both states must
+// produce value-identical chunks and identical cluster charges. Run
+// continuously by `make fuzz-smoke` (part of ci).
+func FuzzSampleSortParity(f *testing.F) {
+	// Seed corpus from the adversarial-skew shapes of the parity tests:
+	// one heavy key, zipf-ish skew, few distinct keys across many chunks,
+	// degenerate sizes, pool on and off.
+	f.Add(int64(1), uint16(2000), uint16(1), uint8(2), uint8(16), true)     // one heavy key
+	f.Add(int64(2), uint16(2000), uint16(250), uint8(8), uint8(16), true)   // zipf-ish
+	f.Add(int64(3), uint16(1000), uint16(3), uint8(3), uint8(7), false)     // 3 keys, odd p
+	f.Add(int64(4), uint16(3), uint16(2), uint8(2), uint8(2), true)         // tiny
+	f.Add(int64(5), uint16(0), uint16(1), uint8(1), uint8(4), false)        // empty
+	f.Add(int64(6), uint16(4000), uint16(4000), uint8(33), uint8(16), true) // oversized width
+
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, keys uint16, width, p uint8, pooled bool) {
+		nn := int(n) % 4096
+		kk := int(keys)%(nn+1) + 1
+		b := int(width)%16 + 1
+		pp := int(p)%16 + 1
+
+		rng := rand.New(rand.NewSource(seed))
+		recs := make([]rec, nn)
+		for i := range recs {
+			recs[i] = mkRec(rng.Intn(kk), uint8(rng.Intn(3)), i)
+		}
+
+		ref := mpc.NewCluster(pp)
+		refChunks := serialSortAndChopRef(ref, append([]rec(nil), recs...))
+		refStats := ref.Snapshot()
+
+		prevPool := SetRecordPooling(pooled)
+		defer SetRecordPooling(prevPool)
+		c := mpc.NewCluster(pp)
+		rc := recsToCols(recs)
+		sampleSortCols(rc, b)
+		bounds := chopBounds(c, rc.len())
+		gotStats := c.Snapshot()
+
+		for s := 0; s < pp; s++ {
+			if !reflect.DeepEqual(refChunks[s], colsChunk(rc, bounds, s)) {
+				t.Fatalf("chunk %d differs (n=%d keys=%d b=%d p=%d pool=%v)",
+					s, nn, kk, b, pp, pooled)
+			}
+		}
+		if !reflect.DeepEqual(refStats, gotStats) {
+			t.Fatalf("charges differ:\nref %+v\ngot %+v", refStats, gotStats)
+		}
+		putRecCols(rc)
+	})
+}

@@ -24,6 +24,11 @@ type LookupResult struct {
 // sorted together by key (d entries first), cut into p equal chunks, and
 // the "last seen d entry" flows across chunk boundaries through the
 // coordinator. Load: O((|x|+|d|)/p + p) in O(1) rounds.
+//
+// Records are collected into a pooled columnar set with interned keys: the
+// directory scan's interner doubles as the duplicate-key check, repeated
+// probe keys share one string allocation, and the columns are recycled on
+// return — no per-call []rec rebuild.
 func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr,
 	outSchema relation.Schema,
 	combine func(it mpc.Item, r LookupResult) (mpc.Item, bool)) *mpc.Dist {
@@ -31,65 +36,73 @@ func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr
 	xPos := x.Positions(xKey)
 	dPos := d.Positions(dKey)
 
-	recs := make([]rec, 0, x.Size()+d.Size())
-	dupCheck := make(map[string]bool, d.Size())
-	for _, part := range d.Parts {
-		for _, it := range part {
-			k := relation.KeyAt(it.T, dPos)
-			if dupCheck[k] {
+	rc := getRecCols(x.Size() + d.Size())
+	in := getInterner()
+	release := func() {
+		putRecCols(rc)
+		putInterner(in)
+	}
+	for s := range d.Parts {
+		part := &d.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			t := part.Tuple(i)
+			k, dup := in.intern(t, dPos)
+			if dup {
 				panic(fmt.Sprintf("primitives: Lookup directory has duplicate key %v", relation.DecodeKey(k)))
 			}
-			dupCheck[k] = true
-			recs = append(recs, rec{key: k, tag: 0, it: it})
+			rc.append(k, 0, t, part.Annot(i))
 		}
 	}
 	// An empty probe side has an empty result; a trivially-empty sub-query
 	// must not pay the sort and coordinator rounds. Checked only after the
 	// directory scan above, so a malformed directory still panics.
 	if x.Size() == 0 {
+		release()
 		return mpc.NewDist(x.C, outSchema)
 	}
-	for _, part := range x.Parts {
-		for _, it := range part {
-			recs = append(recs, rec{key: relation.KeyAt(it.T, xPos), tag: 1, it: it})
+	for s := range x.Parts {
+		part := &x.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			t := part.Tuple(i)
+			k, _ := in.intern(t, xPos)
+			rc.append(k, 1, t, part.Annot(i))
 		}
 	}
 
-	chunks := sortAndChop(x.C, recs)
+	bounds := sortAndChop(x.C, rc)
 
-	// Boundary propagation: carry[s] = the latest d record at or before the
-	// start of chunk s. One coordinator exchange.
-	carry := make([]*rec, x.C.P)
-	var last *rec
-	for s := range chunks {
+	// Boundary propagation: carry[s] = the row of the latest d record at or
+	// before the start of chunk s (−1: none). One coordinator exchange.
+	carry := make([]int, x.C.P)
+	last := -1
+	for s := 0; s < x.C.P; s++ {
 		carry[s] = last
-		for i := range chunks[s] {
-			if chunks[s][i].tag == 0 {
-				r := chunks[s][i]
-				last = &r
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			if rc.tags[i] == 0 {
+				last = i
 			}
 		}
 	}
 	chargeCoordinatorExchange(x.C)
 
 	out := mpc.NewDist(x.C, outSchema)
-	for s, chunk := range chunks {
+	for s := 0; s < x.C.P; s++ {
 		cur := carry[s]
-		for _, r := range chunk {
-			if r.tag == 0 {
-				rr := r
-				cur = &rr
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			if rc.tags[i] == 0 {
+				cur = i
 				continue
 			}
 			res := LookupResult{}
-			if cur != nil && cur.key == r.key {
-				res = LookupResult{Found: true, DTuple: cur.it.T, DAnnot: cur.it.A}
+			if cur >= 0 && rc.keys[cur] == rc.keys[i] {
+				res = LookupResult{Found: true, DTuple: rc.tuples[cur], DAnnot: rc.annots[cur]}
 			}
-			if it, keep := combine(r.it, res); keep {
-				out.Parts[s] = append(out.Parts[s], it)
+			if it, keep := combine(rc.item(i), res); keep {
+				out.Parts[s].AppendItem(it)
 			}
 		}
 	}
+	release()
 	return out
 }
 
@@ -148,37 +161,42 @@ func DistinctByKey(d *mpc.Dist, keyAttrs []relation.Attr) *mpc.Dist {
 		return mpc.NewDist(d.C, schema)
 	}
 	// Local dedup first (combiner): at most one record per (server, key).
-	recs := make([]rec, 0, d.Size())
-	for _, part := range d.Parts {
+	rc := getRecCols(d.Size())
+	in := getInterner()
+	for s := range d.Parts {
+		part := &d.Parts[s]
 		seen := make(map[string]bool)
-		for _, it := range part {
-			k := relation.KeyAt(it.T, pos)
+		for i := 0; i < part.Len(); i++ {
+			t := part.Tuple(i)
+			k, _ := in.intern(t, pos)
 			if seen[k] {
 				continue
 			}
 			seen[k] = true
 			proj := make(relation.Tuple, len(pos))
-			for i, p := range pos {
-				proj[i] = it.T[p]
+			for j, p := range pos {
+				proj[j] = t[p]
 			}
-			recs = append(recs, rec{key: k, it: mpc.Item{T: proj, A: it.A}})
+			rc.append(k, 0, proj, part.Annot(i))
 		}
 	}
-	chunks := sortAndChop(d.C, recs)
+	bounds := sortAndChop(d.C, rc)
 	// Cross-chunk dedup: each server drops its first run if the previous
 	// chunk ends with the same key (boundary info via coordinator).
 	chargeCoordinatorExchange(d.C)
 	out := mpc.NewDist(d.C, schema)
 	prevLast := ""
 	havePrev := false
-	for s, chunk := range chunks {
-		for _, r := range chunk {
-			if havePrev && r.key == prevLast {
+	for s := 0; s < d.C.P; s++ {
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			if havePrev && rc.keys[i] == prevLast {
 				continue
 			}
-			out.Parts[s] = append(out.Parts[s], r.it)
-			prevLast, havePrev = r.key, true
+			out.Parts[s].Append(rc.tuples[i], rc.annots[i])
+			prevLast, havePrev = rc.keys[i], true
 		}
 	}
+	putRecCols(rc)
+	putInterner(in)
 	return out
 }

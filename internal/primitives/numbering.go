@@ -12,7 +12,8 @@ import (
 // Sort-based: items are sorted by key and chopped into p chunks, each chunk
 // numbers locally, and the offset of a key that spans a chunk boundary is
 // resolved through one coordinator exchange (a key spans only consecutive
-// chunks, so per-server boundary state is O(1)).
+// chunks, so per-server boundary state is O(1)). Records go through the
+// pooled columnar set — no per-call []rec rebuild.
 func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.Attr) *mpc.Dist {
 	pos := d.Positions(keyAttrs)
 	outSchema := append(append(relation.Schema{}, d.Schema...), numberAttr)
@@ -20,13 +21,17 @@ func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.A
 		return mpc.NewDist(d.C, outSchema)
 	}
 
-	recs := make([]rec, 0, d.Size())
-	for _, part := range d.Parts {
-		for _, it := range part {
-			recs = append(recs, rec{key: relation.KeyAt(it.T, pos), it: it})
+	rc := getRecCols(d.Size())
+	in := getInterner()
+	for s := range d.Parts {
+		part := &d.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			t := part.Tuple(i)
+			k, _ := in.intern(t, pos)
+			rc.append(k, 0, t, part.Annot(i))
 		}
 	}
-	chunks := sortAndChop(d.C, recs)
+	bounds := sortAndChop(d.C, rc)
 
 	// offsets[s] = number of items with the same key as chunk s's first
 	// record that appear in earlier chunks. Computed by the coordinator from
@@ -34,20 +39,22 @@ func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.A
 	offsets := make([]int64, d.C.P)
 	runKey, runCount := "", int64(0)
 	haveRun := false
-	for s, chunk := range chunks {
-		if len(chunk) == 0 {
+	for s := 0; s < d.C.P; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo == hi {
 			continue
 		}
-		if haveRun && chunk[0].key == runKey {
+		if haveRun && rc.keys[lo] == runKey {
 			offsets[s] = runCount
 		}
 		// Update the running suffix count for the chunk's last key.
-		lastKey := chunk[len(chunk)-1].key
+		lastKey := rc.keys[hi-1]
 		var suffix int64
-		for i := len(chunk) - 1; i >= 0 && chunk[i].key == lastKey; i-- {
+		for i := hi - 1; i >= lo && rc.keys[i] == lastKey; i-- {
 			suffix++
 		}
-		if haveRun && lastKey == runKey && chunk[0].key == runKey && allSameKey(chunk) {
+		allSame := rc.keys[lo] == lastKey && int(suffix) == hi-lo
+		if haveRun && lastKey == runKey && rc.keys[lo] == runKey && allSame {
 			runCount += suffix
 		} else {
 			runKey, runCount = lastKey, suffix
@@ -57,30 +64,24 @@ func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.A
 	chargeCoordinatorExchange(d.C)
 
 	out := mpc.NewDist(d.C, outSchema)
-	for s, chunk := range chunks {
+	for s := 0; s < d.C.P; s++ {
 		var curKey string
 		var n int64
-		for i, r := range chunk {
-			if i == 0 {
-				curKey, n = r.key, offsets[s]
-			} else if r.key != curKey {
-				curKey, n = r.key, 0
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			if i == bounds[s] {
+				curKey, n = rc.keys[i], offsets[s]
+			} else if rc.keys[i] != curKey {
+				curKey, n = rc.keys[i], 0
 			}
 			n++
-			t := make(relation.Tuple, len(r.it.T)+1)
-			copy(t, r.it.T)
-			t[len(r.it.T)] = relation.Value(n)
-			out.Parts[s] = append(out.Parts[s], mpc.Item{T: t, A: r.it.A})
+			src := rc.tuples[i]
+			t := make(relation.Tuple, len(src)+1)
+			copy(t, src)
+			t[len(src)] = relation.Value(n)
+			out.Parts[s].Append(t, rc.annots[i])
 		}
 	}
+	putRecCols(rc)
+	putInterner(in)
 	return out
-}
-
-func allSameKey(chunk []rec) bool {
-	for i := 1; i < len(chunk); i++ {
-		if chunk[i].key != chunk[0].key {
-			return false
-		}
-	}
-	return true
 }

@@ -21,9 +21,11 @@ func ParallelPacking(d *mpc.Dist, capacity int64) (*mpc.Dist, int) {
 	}
 	fullPerServer := make([][]group, d.C.P)
 	partialPerServer := make([]*group, d.C.P)
-	for s, part := range d.Parts {
+	for s := range d.Parts {
+		part := &d.Parts[s]
 		cur := &group{}
-		for _, it := range part {
+		for i := 0; i < part.Len(); i++ {
+			it := part.Item(i)
 			if it.A <= 0 || it.A > capacity {
 				panic("primitives: ParallelPacking size out of (0, capacity]")
 			}
@@ -56,7 +58,7 @@ func ParallelPacking(d *mpc.Dist, capacity int64) (*mpc.Dist, int) {
 	out := mpc.NewDist(d.C, d.Schema)
 	assign := func(s int, g group, id int) {
 		for _, it := range g.items {
-			out.Parts[s] = append(out.Parts[s], mpc.Item{T: it.T, A: int64(id)})
+			out.Parts[s].Append(it.T, int64(id))
 		}
 	}
 	for s, groups := range fullPerServer {

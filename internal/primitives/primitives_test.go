@@ -389,24 +389,23 @@ func TestAllocateServersDuplicatePanics(t *testing.T) {
 
 func TestSortAndChopBalance(t *testing.T) {
 	c := mpc.NewCluster(8)
-	recs := make([]rec, 1000)
-	for i := range recs {
-		recs[i] = rec{key: relation.EncodeValues(relation.Value(i % 3))}
+	rc := getRecCols(1000)
+	for i := 0; i < 1000; i++ {
+		rc.append(relation.EncodeValues(relation.Value(i%3)), 0, nil, 1)
 	}
-	chunks := sortAndChop(c, recs)
-	for s, ch := range chunks {
-		if len(ch) > 125+1 {
-			t.Errorf("chunk %d has %d records", s, len(ch))
+	bounds := sortAndChop(c, rc)
+	for s := 0; s < c.P; s++ {
+		if bounds[s+1]-bounds[s] > 125+1 {
+			t.Errorf("chunk %d has %d records", s, bounds[s+1]-bounds[s])
 		}
 	}
 	// Sortedness across chunk boundaries.
 	prev := ""
-	for _, ch := range chunks {
-		for _, r := range ch {
-			if r.key < prev {
-				t.Fatal("records not globally sorted")
-			}
-			prev = r.key
+	for i := 0; i < rc.len(); i++ {
+		if rc.keys[i] < prev {
+			t.Fatal("records not globally sorted")
 		}
+		prev = rc.keys[i]
 	}
+	putRecCols(rc)
 }

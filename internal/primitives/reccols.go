@@ -1,0 +1,212 @@
+package primitives
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// The columnar record pool. Every skew-sensitive primitive (Lookup,
+// DistinctByKey, MultiNumbering) used to rebuild a fresh []rec slice from
+// its Dist on every call — the dominant allocations BenchmarkSampleSort
+// and BenchmarkLookup reported. The record set is now struct-of-arrays
+// (parallel key/tag/tuple/annot columns) and recycled through a sync.Pool,
+// and the key column is interned per Dist generation: one call-site builds
+// each distinct key string once, repeated keys share the allocation, and
+// repeated calls reuse the column capacity.
+//
+// Pooling is strictly a memory-reuse layer: every buffer is fully
+// initialized before it is read, so results, cluster charges and table
+// bytes are identical with the pool on or off. SetRecordPooling(false)
+// forces fresh allocations — the determinism sweeps prove the equivalence
+// under -race.
+
+// recordPooling gates every primitives-layer pool (record columns, index
+// scratch, interners). On by default.
+var recordPooling atomic.Bool
+
+func init() { recordPooling.Store(true) }
+
+// SetRecordPooling enables or disables the columnar record pool and
+// returns the previous setting. Used by the determinism sweeps; safe for
+// concurrent use (in-flight calls keep the buffers they already hold).
+func SetRecordPooling(on bool) bool { return recordPooling.Swap(on) }
+
+// RecordPooling reports whether the record pool is active.
+func RecordPooling() bool { return recordPooling.Load() }
+
+// recCols is the columnar record set: parallel key/tag/tuple/annot
+// columns, sorted together by (key, tag) via an index permutation.
+type recCols struct {
+	keys   []string
+	tags   []uint8
+	tuples []relation.Tuple
+	annots []int64
+}
+
+func (rc *recCols) len() int { return len(rc.keys) }
+
+func (rc *recCols) append(key string, tag uint8, t relation.Tuple, a int64) {
+	rc.keys = append(rc.keys, key)
+	rc.tags = append(rc.tags, tag)
+	rc.tuples = append(rc.tuples, t)
+	rc.annots = append(rc.annots, a)
+}
+
+// item assembles row i for callbacks that take items.
+func (rc *recCols) item(i int) mpc.Item { return mpc.Item{T: rc.tuples[i], A: rc.annots[i]} }
+
+// less is THE record order of every skew-sensitive primitive — by key,
+// ties broken by tag (recLess on columns). The serial reference and the
+// parallel sample sort must agree on it exactly.
+func (rc *recCols) less(i, j int32) bool {
+	if rc.keys[i] != rc.keys[j] {
+		return rc.keys[i] < rc.keys[j]
+	}
+	return rc.tags[i] < rc.tags[j]
+}
+
+// reset truncates the columns, clearing the pointer-bearing ones so pooled
+// capacity does not retain tuples or key strings.
+func (rc *recCols) reset() {
+	clear(rc.keys[:cap(rc.keys)])
+	clear(rc.tuples[:cap(rc.tuples)])
+	rc.keys = rc.keys[:0]
+	rc.tags = rc.tags[:0]
+	rc.tuples = rc.tuples[:0]
+	rc.annots = rc.annots[:0]
+}
+
+var recColsPool sync.Pool
+
+// getRecCols returns an empty record set with room for capacity rows.
+func getRecCols(capacity int) *recCols {
+	if RecordPooling() {
+		if v := recColsPool.Get(); v != nil {
+			rc := v.(*recCols)
+			if cap(rc.keys) >= capacity {
+				return rc
+			}
+			// Too small for this call site: grow once, keep the grown set.
+		}
+	}
+	return &recCols{
+		keys:   make([]string, 0, capacity),
+		tags:   make([]uint8, 0, capacity),
+		tuples: make([]relation.Tuple, 0, capacity),
+		annots: make([]int64, 0, capacity),
+	}
+}
+
+// putRecCols recycles rc. Callers must have copied out every tuple header
+// and annotation they keep (the output Dist does).
+func putRecCols(rc *recCols) {
+	if !RecordPooling() {
+		return
+	}
+	rc.reset()
+	recColsPool.Put(rc)
+}
+
+// sortScratch is the sample sort's whole working set — rank vectors, merge
+// buffer, per-task counters, and one permute target per record column —
+// pooled as a single pointer so a steady-state sort performs one pool
+// round-trip and zero boxing allocations. ensure* grow the vectors in
+// place; contents are UNSPECIFIED until written (consumers initialize
+// before reading). Pointer-bearing columns are cleared on put, like the
+// record sets, so the pool never retains a past dataset.
+type sortScratch struct {
+	order   []int32
+	ranges  []int32
+	perTask [][]int32 // per task: range counters, then reused as write cursors
+	bases   [][]int32 // per task: first write offset per range
+	keys    []string
+	tags    []uint8
+	tuples  []relation.Tuple
+	annots  []int64
+}
+
+// ensureSlice grows s to length n, reusing its capacity when possible.
+func ensureSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// taskVecs sizes a per-task [][]int32 table to tasks rows of width n each.
+func taskVecs(vs [][]int32, tasks, n int) [][]int32 {
+	if cap(vs) < tasks {
+		vs = make([][]int32, tasks)
+	}
+	vs = vs[:tasks]
+	for t := range vs {
+		vs[t] = ensureSlice(vs[t], n)
+	}
+	return vs
+}
+
+var sortScratchPool sync.Pool
+
+func getSortScratch() *sortScratch {
+	if RecordPooling() {
+		if v := sortScratchPool.Get(); v != nil {
+			return v.(*sortScratch)
+		}
+	}
+	return &sortScratch{}
+}
+
+func putSortScratch(sc *sortScratch) {
+	if !RecordPooling() {
+		return
+	}
+	// The permute swap leaves the pre-sort key/tuple columns here; clear
+	// them so the pool never retains a past dataset's strings or tuples.
+	clear(sc.keys[:cap(sc.keys)])
+	clear(sc.tuples[:cap(sc.tuples)])
+	sortScratchPool.Put(sc)
+}
+
+// interner builds key strings in a reusable buffer and deduplicates them
+// per Dist generation: one allocation per distinct key per primitive call,
+// and the resulting shared pointers make equal-key comparisons in the sort
+// short-circuit.
+type interner struct {
+	buf []byte
+	m   map[string]string
+}
+
+// intern returns the canonical string for t's projection onto pos and
+// whether the key was already present (Lookup uses this to detect
+// duplicate directory keys without a second map).
+func (in *interner) intern(t relation.Tuple, pos []int) (string, bool) {
+	in.buf = relation.AppendKeyAt(in.buf[:0], t, pos)
+	if s, ok := in.m[string(in.buf)]; ok {
+		return s, true
+	}
+	s := string(in.buf)
+	in.m[s] = s
+	return s, false
+}
+
+var internerPool sync.Pool
+
+func getInterner() *interner {
+	if RecordPooling() {
+		if v := internerPool.Get(); v != nil {
+			return v.(*interner)
+		}
+	}
+	return &interner{m: make(map[string]string)}
+}
+
+func putInterner(in *interner) {
+	if !RecordPooling() {
+		return
+	}
+	clear(in.m)
+	internerPool.Put(in)
+}

@@ -7,25 +7,30 @@ import (
 	"repro/internal/runtime"
 )
 
-// The parallel sample sort: the last serial O(IN log IN) inside a cell.
+// The parallel sample sort, columnar edition.
 //
-// sortAndChop used to stand the paper's one-round sample sort in with a
-// single sort.SliceStable on the coordinator. This file runs the charged
-// topology for real, on runtime.Fork:
+// sortAndChop runs the paper's one-round sample sort for real on
+// runtime.Fork — splitter sampling, parallel range partition, concurrent
+// per-range sorts — but the sort itself never moves a record: it sorts an
+// int32 rank vector (indices into the record columns) and permutes the
+// key/tag/tuple/annot columns exactly once at the end. The per-range merge
+// passes therefore move 4-byte indices instead of ~56-byte records, which
+// closes the ROADMAP note on the merge-copy traffic of the old []rec sort,
+// and every scratch vector comes from the record pool.
 //
 //  1. Splitters. A deterministic stride sample of the keys is sorted and
 //     cut at regular positions into b−1 splitters (b = data-plane width),
 //     oversampled so skewed key distributions still yield balanced ranges.
-//  2. Partition. The records are cut into b contiguous segments; each
-//     forked task classifies its segment's records into key ranges
+//  2. Partition. The rank vector is cut into b contiguous segments; each
+//     forked task classifies its segment's rows into key ranges
 //     (sort.SearchStrings over the splitters — a pure function of the key,
 //     so every occurrence of a key lands in the same range) and counts per
 //     (segment, range). Prefix sums in (range, segment) order then give
 //     every task a disjoint write window per range, and a second forked
-//     pass scatters the records — lock-free, one exact-capacity buffer.
-//  3. Sort. Each range is stable-sorted concurrently and copied back into
-//     place; ranges are contiguous and ordered, so the concatenation is
-//     globally sorted.
+//     pass scatters the indices — lock-free, one pooled buffer.
+//  3. Sort. Each range's index window is stable-sorted concurrently;
+//     ranges are contiguous and ordered, so the concatenated rank vector
+//     is the globally sorted permutation, applied once per column.
 //
 // Determinism is structural, not incidental: within a range the scatter
 // preserves global input order (segments are contiguous in input order and
@@ -33,11 +38,11 @@ import (
 // each range and concatenating yields exactly the unique stable sort by
 // (key, tag) — the same permutation serialSortAndChopRef produces — for
 // every width and every splitter choice. runtime.SetParallelism(1) and
-// small inputs take the serial path, which is byte-identical anyway.
+// small inputs take the serial rank sort, which is byte-identical anyway.
 
-// sampleSortSerialBelow is the record count under which the sort runs
-// serially: splitter sampling and two extra passes cost more than they
-// save, and the output is byte-identical either way.
+// sampleSortSerialBelow is the record count under which the sort runs as a
+// single sequential rank sort: splitter sampling and two extra passes cost
+// more than they save, and the output is byte-identical either way.
 const sampleSortSerialBelow = 1 << 12
 
 // splitterOversample is the number of sampled keys per range; regular
@@ -45,64 +50,68 @@ const sampleSortSerialBelow = 1 << 12
 // factor of n/b even on adversarial key distributions.
 const splitterOversample = 8
 
-// sortAndChop globally sorts records by (key, tag) with the parallel
-// sample sort and distributes them into p equal chunks, charging each
-// server its chunk size in one round (the paper's one-round sample sort
-// with linear load).
-func sortAndChop(c *mpc.Cluster, recs []rec) [][]rec {
-	sampleSortRecs(recs)
-	return chop(c, recs)
+// sortAndChop globally sorts the record columns by (key, tag) with the
+// parallel sample sort and distributes them into p equal chunks, charging
+// each server its chunk size in one round (the paper's one-round sample
+// sort with linear load). Chunk s is rows [bounds[s], bounds[s+1]) of rc.
+func sortAndChop(c *mpc.Cluster, rc *recCols) []int {
+	sampleSortCols(rc, runtime.Parallelism())
+	return chopBounds(c, rc.len())
 }
 
-// sampleSortRecs stable-sorts recs by (key, tag) in place, in parallel.
-func sampleSortRecs(recs []rec) {
-	n := len(recs)
-	b := runtime.Parallelism()
+// sampleSortCols stable-sorts the record columns by (key, tag) with b
+// partition tasks. All scratch comes from one pooled sortScratch: a
+// steady-state sort allocates nothing but the splitter sample.
+func sampleSortCols(rc *recCols, b int) {
+	n := rc.len()
+	if n < 2 {
+		return
+	}
 	if b > n {
 		b = n
 	}
-	if n < sampleSortSerialBelow {
-		// Small inputs — the common case for sub-queries and reduced
-		// instances — keep the allocation-free in-place sort.
-		sort.SliceStable(recs, func(i, j int) bool { return recLess(recs[i], recs[j]) })
-		return
-	}
-	if b <= 1 {
-		// Large input, one worker: the buffered merge sort still beats
-		// SliceStable's in-place block rotations, scratch and all.
-		if sorted := stableSortRecs(recs, make([]rec, n)); &sorted[0] != &recs[0] {
-			copy(recs, sorted)
+	sc := getSortScratch()
+	defer putSortScratch(sc)
+	sc.order = ensureSlice(sc.order, n)
+	sc.ranges = ensureSlice(sc.ranges, n)
+	order := sc.order
+
+	if n < sampleSortSerialBelow || b <= 1 {
+		for i := range order {
+			order[i] = int32(i)
 		}
+		permuteCols(rc, sc, stableSortIdx(rc, order, sc.ranges))
 		return
 	}
 
-	splitters := sampleSplitters(recs, b)
+	splitters := sampleSplitters(rc.keys, b)
+	nr := len(splitters) + 1
 
 	// Segment bounds: b contiguous segments in input order.
 	segLo := func(t int) int { return t * n / b }
 
 	// Counting pass: each task classifies its segment into ranges.
-	ranges := make([]int32, n)
-	counts := make([][]int32, b)
+	ranges := sc.ranges
+	sc.perTask = taskVecs(sc.perTask, b, nr)
+	counts := sc.perTask
 	runtime.Fork(b, func(t int) {
-		cnt := make([]int32, len(splitters)+1)
+		cnt := counts[t]
+		for i := range cnt {
+			cnt[i] = 0
+		}
 		for i := segLo(t); i < segLo(t+1); i++ {
-			r := int32(sort.SearchStrings(splitters, recs[i].key))
+			r := int32(sort.SearchStrings(splitters, rc.keys[i]))
 			ranges[i] = r
 			cnt[r]++
 		}
-		counts[t] = cnt
 	})
 
 	// Prefix sums in (range, segment) order: rangeStart bounds each range
-	// in the scratch buffer; bases give each task its disjoint write
-	// window per range, in segment order — global input order per range.
-	nr := len(splitters) + 1
+	// in the rank vector; bases give each task its disjoint write window
+	// per range, in segment order — global input order per range.
 	rangeStart := make([]int, nr+1)
-	bases := make([][]int32, b)
-	for t := range bases {
-		bases[t] = make([]int32, nr)
-	}
+	sc.bases = taskVecs(sc.bases, b, nr)
+	bases := sc.bases
 	off := 0
 	for r := 0; r < nr; r++ {
 		rangeStart[r] = off
@@ -113,46 +122,67 @@ func sampleSortRecs(recs []rec) {
 	}
 	rangeStart[nr] = off
 
-	// Scatter pass: disjoint pre-computed windows, no locks.
-	scratch := make([]rec, n)
+	// Scatter pass: indices into disjoint pre-computed windows, no locks.
+	// The per-task counters are dead after the prefix sums, so they double
+	// as the write cursors.
 	runtime.Fork(b, func(t int) {
-		cur := make([]int32, nr)
+		cur := counts[t]
 		copy(cur, bases[t])
 		for i := segLo(t); i < segLo(t+1); i++ {
 			r := ranges[i]
-			scratch[cur[r]] = recs[i]
+			order[cur[r]] = int32(i)
 			cur[r]++
 		}
 	})
 
-	// Sort each range concurrently back into place. The range's window of
-	// recs is dead after the scatter, so it doubles as the merge buffer —
-	// disjoint windows, no extra allocation, no locks — and a range whose
-	// merge passes end in the recs window needs no copy at all.
+	// Sort each range's index window concurrently. The ranges vector is
+	// dead after the scatter, so its windows double as the merge buffers —
+	// disjoint, no extra allocation, no locks.
 	runtime.Fork(nr, func(r int) {
 		lo, hi := rangeStart[r], rangeStart[r+1]
 		if lo == hi {
 			return
 		}
-		if sorted := stableSortRecs(scratch[lo:hi], recs[lo:hi]); &sorted[0] != &recs[lo] {
-			copy(recs[lo:hi], sorted)
+		if sorted := stableSortIdx(rc, order[lo:hi], ranges[lo:hi]); &sorted[0] != &order[lo] {
+			copy(order[lo:hi], sorted)
 		}
 	})
+
+	permuteCols(rc, sc, order)
+}
+
+// permuteCols applies the sorted rank vector to every column in one pass
+// per column, through the scratch's permute columns, which are swapped in
+// (the record set's old columns become the next sort's scratch).
+func permuteCols(rc *recCols, sc *sortScratch, order []int32) {
+	n := len(order)
+	ks := ensureSlice(sc.keys, n)
+	ts := ensureSlice(sc.tags, n)
+	tp := ensureSlice(sc.tuples, n)
+	as := ensureSlice(sc.annots, n)
+	for j, i := range order {
+		ks[j] = rc.keys[i]
+		ts[j] = rc.tags[i]
+		tp[j] = rc.tuples[i]
+		as[j] = rc.annots[i]
+	}
+	sc.keys, rc.keys = rc.keys[:0], ks
+	sc.tags, rc.tags = rc.tags[:0], ts
+	sc.tuples, rc.tuples = rc.tuples[:0], tp
+	sc.annots, rc.annots = rc.annots[:0], as
 }
 
 // insertionRun is the block size seeded by insertion sort before the merge
 // passes take over.
 const insertionRun = 24
 
-// stableSortRecs sorts a by (key, tag) with a bottom-up stable merge sort
+// stableSortIdx sorts the index vector a by the records it points at —
+// rc.less, ties keeping input order — with a bottom-up stable merge sort
 // through the caller-provided buffer (len(buf) ≥ len(a)): insertion-sorted
-// runs, then buffered merges. Buffered merges copy instead of rotating
-// blocks in place, which is what makes this measurably faster than
-// sort.SliceStable — the win BenchmarkSampleSort vs BenchmarkSerialSortRef
-// tracks even at data-plane width 1. The sorted data ends in a or in buf
-// depending on the pass count; the returned slice is whichever holds it,
-// so the caller copies only when it actually needs the other one.
-func stableSortRecs(a, buf []rec) []rec {
+// runs, then buffered merges of 4-byte indices. The sorted vector ends in
+// a or in buf depending on the pass count; the returned slice is whichever
+// holds it, so the caller copies only when it actually needs the other one.
+func stableSortIdx(rc *recCols, a, buf []int32) []int32 {
 	n := len(a)
 	if n < 2 {
 		return a
@@ -162,7 +192,7 @@ func stableSortRecs(a, buf []rec) []rec {
 		if hi > n {
 			hi = n
 		}
-		insertionSortRecs(a[lo:hi])
+		insertionSortIdx(rc, a[lo:hi])
 	}
 	src, dst := a, buf[:n]
 	for width := insertionRun; width < n; width *= 2 {
@@ -174,20 +204,20 @@ func stableSortRecs(a, buf []rec) []rec {
 			if hi > n {
 				hi = n
 			}
-			mergeRecs(dst[lo:hi], src[lo:mid], src[mid:hi])
+			mergeIdx(rc, dst[lo:hi], src[lo:mid], src[mid:hi])
 		}
 		src, dst = dst, src
 	}
 	return src
 }
 
-// insertionSortRecs is a stable insertion sort: an element moves left only
-// past strictly greater predecessors.
-func insertionSortRecs(a []rec) {
+// insertionSortIdx is a stable insertion sort: an index moves left only
+// past strictly greater records.
+func insertionSortIdx(rc *recCols, a []int32) {
 	for i := 1; i < len(a); i++ {
 		x := a[i]
 		j := i - 1
-		for j >= 0 && recLess(x, a[j]) {
+		for j >= 0 && rc.less(x, a[j]) {
 			a[j+1] = a[j]
 			j--
 		}
@@ -195,12 +225,12 @@ func insertionSortRecs(a []rec) {
 	}
 }
 
-// mergeRecs merges sorted runs a and b into dst (len(dst) = len(a)+len(b)),
-// taking from a on ties — the stability rule.
-func mergeRecs(dst, a, b []rec) {
+// mergeIdx merges sorted index runs a and b into dst (len(dst) =
+// len(a)+len(b)), taking from a on ties — the stability rule.
+func mergeIdx(rc *recCols, dst, a, b []int32) {
 	i, j, k := 0, 0, 0
 	for i < len(a) && j < len(b) {
-		if recLess(b[j], a[i]) {
+		if rc.less(b[j], a[i]) {
 			dst[k] = b[j]
 			j++
 		} else {
@@ -215,11 +245,11 @@ func mergeRecs(dst, a, b []rec) {
 
 // sampleSplitters returns at most b−1 sorted splitter keys cutting the key
 // space into b near-equal ranges: a deterministic stride sample (no RNG,
-// no seed — the same records always yield the same splitters), sorted and
+// no seed — the same keys always yield the same splitters), sorted and
 // cut at regular positions. Duplicate splitters are collapsed; the ranges
 // they would bound are empty anyway.
-func sampleSplitters(recs []rec, b int) []string {
-	n := len(recs)
+func sampleSplitters(keys []string, b int) []string {
+	n := len(keys)
 	want := b * splitterOversample
 	stride := n / want
 	if stride < 1 {
@@ -227,7 +257,7 @@ func sampleSplitters(recs []rec, b int) []string {
 	}
 	sample := make([]string, 0, want+1)
 	for i := 0; i < n; i += stride {
-		sample = append(sample, recs[i].key)
+		sample = append(sample, keys[i])
 	}
 	sort.Strings(sample)
 	splitters := make([]string, 0, b-1)

@@ -77,11 +77,36 @@ func sortInputs(n int) []sortInput {
 	}
 }
 
+// recsToCols loads an array-of-structs record set into a pooled columnar
+// set — the bridge between the retained []rec references and the columnar
+// sort under test.
+func recsToCols(recs []rec) *recCols {
+	rc := getRecCols(len(recs))
+	for _, r := range recs {
+		rc.append(r.key, r.tag, r.it.T, r.it.A)
+	}
+	return rc
+}
+
+// colsChunk extracts chunk s of a sorted columnar set as []rec for
+// comparison against the serial reference's chunks.
+func colsChunk(rc *recCols, bounds []int, s int) []rec {
+	if bounds[s] == bounds[s+1] {
+		return nil
+	}
+	out := make([]rec, 0, bounds[s+1]-bounds[s])
+	for i := bounds[s]; i < bounds[s+1]; i++ {
+		out = append(out, rec{key: rc.keys[i], tag: rc.tags[i], it: rc.item(i)})
+	}
+	return out
+}
+
 // TestSampleSortParityWithSerialRef is the tentpole guarantee: for every
-// input shape and every data-plane width, sortAndChop produces byte-
-// identical chunks and identical per-round cluster charges to the retained
-// serial reference. Run under -race (make ci) this is also the lock-freedom
-// proof for the partition/scatter/sort passes.
+// input shape, every data-plane width, and the record pool on or off,
+// sortAndChop produces value-identical chunks and identical per-round
+// cluster charges to the retained serial reference. Run under -race
+// (make ci) this is also the lock-freedom proof for the partition/
+// scatter/sort passes.
 func TestSampleSortParityWithSerialRef(t *testing.T) {
 	const p, n = 16, 20000
 	for _, in := range sortInputs(n) {
@@ -90,30 +115,37 @@ func TestSampleSortParityWithSerialRef(t *testing.T) {
 			refChunks := serialSortAndChopRef(ref, in.recs())
 			refStats := ref.Snapshot()
 
-			for _, width := range []int{1, 2, 8} {
-				prev := runtime.SetParallelism(width)
-				c := mpc.NewCluster(p)
-				got := sortAndChop(c, in.recs())
-				gotStats := c.Snapshot()
-				runtime.SetParallelism(prev)
+			for _, pooled := range []bool{true, false} {
+				prevPool := SetRecordPooling(pooled)
+				for _, width := range []int{1, 2, 8} {
+					prev := runtime.SetParallelism(width)
+					c := mpc.NewCluster(p)
+					rc := recsToCols(in.recs())
+					bounds := sortAndChop(c, rc)
+					gotStats := c.Snapshot()
 
-				for s := range refChunks {
-					if !reflect.DeepEqual(refChunks[s], got[s]) {
-						t.Fatalf("width %d: chunk %d differs: ref %d recs, got %d recs",
-							width, s, len(refChunks[s]), len(got[s]))
+					for s := 0; s < p; s++ {
+						if !reflect.DeepEqual(refChunks[s], colsChunk(rc, bounds, s)) {
+							t.Fatalf("pool=%v width %d: chunk %d differs: ref %d recs, got %d recs",
+								pooled, width, s, len(refChunks[s]), bounds[s+1]-bounds[s])
+						}
 					}
+					if !reflect.DeepEqual(refStats, gotStats) {
+						t.Fatalf("pool=%v width %d: charges differ:\nref %+v\ngot %+v",
+							pooled, width, refStats, gotStats)
+					}
+					putRecCols(rc)
+					runtime.SetParallelism(prev)
 				}
-				if !reflect.DeepEqual(refStats, gotStats) {
-					t.Fatalf("width %d: charges differ:\nref %+v\ngot %+v", width, refStats, gotStats)
-				}
+				SetRecordPooling(prevPool)
 			}
 		})
 	}
 }
 
 // TestSampleSortPropertyRandomShapes is the property test: on random sizes,
-// key ranges and tag mixes, the parallel sort must equal the unique stable
-// (key, tag) sort of the input.
+// key ranges and tag mixes, the parallel rank sort must equal the unique
+// stable (key, tag) sort of the input.
 func TestSampleSortPropertyRandomShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 30; trial++ {
@@ -128,10 +160,16 @@ func TestSampleSortPropertyRandomShapes(t *testing.T) {
 
 		width := 1 + rng.Intn(8)
 		prev := runtime.SetParallelism(width)
-		sampleSortRecs(recs)
+		rc := recsToCols(recs)
+		sampleSortCols(rc, width)
 		runtime.SetParallelism(prev)
 
-		if !reflect.DeepEqual(recs, want) {
+		got := make([]rec, rc.len())
+		for i := range got {
+			got[i] = rec{key: rc.keys[i], tag: rc.tags[i], it: rc.item(i)}
+		}
+		putRecCols(rc)
+		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("trial %d (n=%d keys=%d width=%d): parallel sort is not the stable sort",
 				trial, n, keys, width)
 		}
@@ -143,12 +181,12 @@ func TestSampleSortPropertyRandomShapes(t *testing.T) {
 func TestSampleSplittersAreSortedAndDistinct(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for _, keys := range []int{1, 2, 100, 1 << 14} {
-		recs := make([]rec, 1<<14)
-		for i := range recs {
-			recs[i] = mkRec(rng.Intn(keys), 0, i)
+		ks := make([]string, 1<<14)
+		for i := range ks {
+			ks[i] = mkRec(rng.Intn(keys), 0, i).key
 		}
 		for _, b := range []int{2, 3, 8, 32} {
-			sp := sampleSplitters(recs, b)
+			sp := sampleSplitters(ks, b)
 			if len(sp) >= b {
 				t.Fatalf("keys=%d b=%d: %d splitters", keys, b, len(sp))
 			}
@@ -240,23 +278,34 @@ func TestEmptyInputsChargeNoRounds(t *testing.T) {
 }
 
 // TestSampleSortWidthSweepDeterminism re-sorts the same zipf input at every
-// width and demands byte-identical chunk tables — the cheap standing sweep
-// the engine catalog test mirrors at full scale.
+// width (and the pool in both states) and demands byte-identical chunk
+// tables — the cheap standing sweep the engine catalog test mirrors at
+// full scale.
 func TestSampleSortWidthSweepDeterminism(t *testing.T) {
 	const p, n = 8, 1 << 14
 	mk := sortInputs(n)[2] // zipfish
 	var ref [][]rec
-	for _, width := range []int{1, 2, 4, 8} {
-		prev := runtime.SetParallelism(width)
-		c := mpc.NewCluster(p)
-		got := sortAndChop(c, mk.recs())
-		runtime.SetParallelism(prev)
-		if ref == nil {
-			ref = got
-			continue
+	for _, pooled := range []bool{true, false} {
+		prevPool := SetRecordPooling(pooled)
+		for _, width := range []int{1, 2, 4, 8} {
+			prev := runtime.SetParallelism(width)
+			c := mpc.NewCluster(p)
+			rc := recsToCols(mk.recs())
+			bounds := sortAndChop(c, rc)
+			got := make([][]rec, p)
+			for s := 0; s < p; s++ {
+				got[s] = colsChunk(rc, bounds, s)
+			}
+			putRecCols(rc)
+			runtime.SetParallelism(prev)
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatal(fmt.Sprintf("pool=%v width %d chunks differ from reference", pooled, width))
+			}
 		}
-		if !reflect.DeepEqual(ref, got) {
-			t.Fatal(fmt.Sprintf("width %d chunks differ from width 1", width))
-		}
+		SetRecordPooling(prevPool)
 	}
 }

@@ -11,7 +11,9 @@
 // information then flows through a coordinator at O(p) load. The simulator
 // runs the sort as a real parallel sample sort over runtime.Fork — splitter
 // sampling, parallel range partition, concurrent per-range sorts — matching
-// the topology the cost model charges (see samplesort.go).
+// the topology the cost model charges. Records live in pooled columnar sets
+// (see reccols.go) and the sort permutes an int32 rank vector, never whole
+// records (see samplesort.go).
 package primitives
 
 import (
@@ -21,17 +23,18 @@ import (
 	"repro/internal/mpc"
 )
 
-// rec is a sortable record: a key, a tie-break tag (d-side records sort
-// before x-side records of the same key), and the carried item.
+// rec is the array-of-structs record view, retained for the serial
+// reference path and the tests: a key, a tie-break tag (d-side records
+// sort before x-side records of the same key), and the carried item.
 type rec struct {
 	key string
 	tag uint8
 	it  mpc.Item
 }
 
-// recLess is THE record order of every skew-sensitive primitive: by key,
-// ties broken by tag. The serial reference and the parallel sample sort
-// must agree on it exactly.
+// recLess is the record order of every skew-sensitive primitive: by key,
+// ties broken by tag. recCols.less is the columnar form; the serial
+// reference and the parallel sample sort must agree on it exactly.
 func recLess(a, b rec) bool {
 	if a.key != b.key {
 		return a.key < b.key
@@ -39,13 +42,12 @@ func recLess(a, b rec) bool {
 	return a.tag < b.tag
 }
 
-// chop distributes globally sorted records into p equal chunks — windows
-// of the sorted slice, no copying — charging each server its chunk size in
-// one round. Shared by the parallel sample sort and the serial reference,
-// so both paths charge identically. Callers treat chunks as read-only.
-func chop(c *mpc.Cluster, recs []rec) [][]rec {
+// chopBounds distributes n globally sorted records into p equal chunks —
+// index windows, no copying — charging each server its chunk size in one
+// round. Chunk s is rows [bounds[s], bounds[s+1]). Shared by the parallel
+// sample sort and the serial reference, so both paths charge identically.
+func chopBounds(c *mpc.Cluster, n int) []int {
 	p := c.P
-	n := len(recs)
 	chunk := (n + p - 1) / p
 	if chunk == 0 {
 		chunk = 1
@@ -56,27 +58,42 @@ func chop(c *mpc.Cluster, recs []rec) [][]rec {
 		// overload the last server.
 		panic(fmt.Sprintf("primitives: chop record %d past server %d (n=%d, chunk=%d)", n-1, p-1, n, chunk))
 	}
-	chunks := make([][]rec, p)
+	bounds := make([]int, p+1)
 	loads := make([]int, p)
 	for s := 0; s < p; s++ {
 		lo := s * chunk
-		if lo >= n {
-			break
+		if lo > n {
+			lo = n
 		}
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		chunks[s] = recs[lo:hi]
+		bounds[s] = lo
 		loads[s] = hi - lo
 	}
+	bounds[p] = n
 	c.ChargeRound(loads)
+	return bounds
+}
+
+// chop is chopBounds over a []rec slice, returning chunk windows. Used by
+// the serial reference and the tests.
+func chop(c *mpc.Cluster, recs []rec) [][]rec {
+	bounds := chopBounds(c, len(recs))
+	chunks := make([][]rec, c.P)
+	for s := 0; s < c.P; s++ {
+		if bounds[s] < bounds[s+1] {
+			chunks[s] = recs[bounds[s]:bounds[s+1]]
+		}
+	}
 	return chunks
 }
 
 // serialSortAndChopRef is the pre-parallel coordinator sort, kept verbatim
-// as the parity and benchmark reference: sortAndChop must produce
-// byte-identical chunks and identical charges at every data-plane width.
+// as the parity, fuzz and benchmark reference: sortAndChop must produce
+// value-identical chunks and identical charges at every data-plane width
+// and with the record pool on or off.
 func serialSortAndChopRef(c *mpc.Cluster, recs []rec) [][]rec {
 	sort.SliceStable(recs, func(i, j int) bool { return recLess(recs[i], recs[j]) })
 	return chop(c, recs)

@@ -33,25 +33,27 @@ func CountByKey(d *mpc.Dist, keyAttrs []relation.Attr, salt uint64) *mpc.Dist {
 // localCombine aggregates per server: one output item per (server, key).
 func localCombine(d *mpc.Dist, pos []int, schema relation.Schema, ring relation.Semiring) *mpc.Dist {
 	out := mpc.NewDist(d.C, schema)
-	for s, part := range d.Parts {
-		agg := make(map[string]int64, len(part))
-		repr := make(map[string]relation.Tuple, len(part))
+	for s := range d.Parts {
+		part := &d.Parts[s]
+		agg := make(map[string]int64, part.Len())
+		repr := make(map[string]relation.Tuple, part.Len())
 		var order []string
-		for _, it := range part {
-			k := relation.KeyAt(it.T, pos)
+		for i := 0; i < part.Len(); i++ {
+			t := part.Tuple(i)
+			k := relation.KeyAt(t, pos)
 			if _, ok := agg[k]; !ok {
 				agg[k] = ring.Zero
 				proj := make(relation.Tuple, len(pos))
-				for i, p := range pos {
-					proj[i] = it.T[p]
+				for j, p := range pos {
+					proj[j] = t[p]
 				}
 				repr[k] = proj
 				order = append(order, k)
 			}
-			agg[k] = ring.Add(agg[k], it.A)
+			agg[k] = ring.Add(agg[k], part.Annot(i))
 		}
 		for _, k := range order {
-			out.Parts[s] = append(out.Parts[s], mpc.Item{T: repr[k], A: agg[k]})
+			out.Parts[s].Append(repr[k], agg[k])
 		}
 	}
 	return out
@@ -63,9 +65,10 @@ func localCombine(d *mpc.Dist, pos []int, schema relation.Schema, ring relation.
 // Every server then "knows" the value; the caller gets it directly.
 func TotalSum(d *mpc.Dist, ring relation.Semiring) int64 {
 	total := ring.Zero
-	for _, part := range d.Parts {
-		for _, it := range part {
-			total = ring.Add(total, it.A)
+	for s := range d.Parts {
+		part := &d.Parts[s]
+		for i := 0; i < part.Len(); i++ {
+			total = ring.Add(total, part.Annot(i))
 		}
 	}
 	chargeCoordinatorExchange(d.C)
