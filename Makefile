@@ -19,22 +19,46 @@ COVER_FLOOR_PRIMITIVES ?= 90
 # fuzz-smoke budget per target.
 FUZZTIME ?= 10s
 
-.PHONY: ci fmt vet build test race smoke bench bench-all bench-smoke fuzz-smoke cover experiments
+# The benchmark trajectory file this PR generation writes (see ROADMAP).
+BENCH_JSON ?= BENCH_6.json
+
+.PHONY: ci fmt vet build test race smoke bench bench-all bench-smoke bench-verify fuzz-smoke cover lint lint-fix-list tidy-check experiments
 
 # ci is tier-1 plus race checking, a public-API smoke pass, coverage
-# floors, a fuzz-smoke pass over the data-plane parity targets, and a
-# bench-smoke pass in one command: if an example, CLI, benchmark, fuzz
-# target, or coverage floor stops holding, ci fails.
-ci: fmt vet build race smoke cover fuzz-smoke bench-smoke
+# floors, a fuzz-smoke pass over the data-plane parity targets, a
+# bench-smoke pass, the repolint static-analysis suite, the module tidy
+# check, and the benchmark-trajectory staleness gate in one command: if an
+# example, CLI, benchmark, fuzz target, coverage floor, or contract
+# analyzer stops holding, ci fails.
+ci: fmt vet lint tidy-check build race smoke cover fuzz-smoke bench-smoke bench-verify
 
 fmt:
-	@out="$$(gofmt -l .)"; \
+	@out="$$(gofmt -l . | grep -v '^third_party/')"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository's contract analyzers (internal/lint) over every
+# package through the standard vet driver. See DESIGN.md "Static analysis"
+# for the contracts and the //lint:ignore escape hatch.
+lint:
+	@mkdir -p bin
+	$(GO) build -o bin/repolint ./cmd/repolint
+	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
+
+# lint-fix-list prints the violations as bare file:line:col lines for
+# editor jumping (quickfix lists, vim -q, jump-to-error).
+lint-fix-list:
+	@mkdir -p bin
+	@$(GO) build -o bin/repolint ./cmd/repolint
+	@$(GO) vet -vettool=$(CURDIR)/bin/repolint ./... 2>&1 | grep -E '^[^ ]+\.go:[0-9]+' | cut -d: -f1-3 || true
+
+# tidy-check fails when go.mod/go.sum need `go mod tidy`.
+tidy-check:
+	$(GO) mod tidy -diff
 
 build:
 	$(GO) build ./...
@@ -83,13 +107,21 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSampleSortParity$$' -fuzztime $(FUZZTIME) ./internal/primitives
 
 # bench runs the exchange microbenchmarks (override with BENCH=…) as
-# COUNT counted passes with allocation stats — pipe the output of two
-# checkouts into benchstat to compare the data planes:
+# COUNT counted passes with allocation stats, and records the last pass of
+# each benchmark into $(BENCH_JSON) — the trajectory point ci's
+# bench-verify gate checks for staleness. The raw lines still stream to
+# stdout, so the benchstat workflow is unchanged:
 #
 #	make bench > new.txt && git stash && make bench > old.txt
 #	benchstat old.txt new.txt
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) ./...
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# bench-verify fails when $(BENCH_JSON) is stale relative to the counted
+# benchmark list: a benchmark was added, renamed, or removed without
+# re-recording the trajectory (`make bench`).
+bench-verify:
+	$(GO) test -run '^$$' -list '$(BENCH)' ./... | $(GO) run ./cmd/benchjson -verify $(BENCH_JSON)
 
 # bench-all is the full uncounted suite (tables, figures, micro).
 bench-all:

@@ -1,0 +1,182 @@
+// Command benchjson turns `go test -bench` output into the repository's
+// benchmark trajectory files (BENCH_<pr>.json) and verifies them against
+// the live benchmark list.
+//
+// Record mode reads bench output on stdin, echoes it through unchanged,
+// and writes a JSON object mapping benchmark name → metrics:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_6.json
+//
+// Names are normalized by stripping the trailing -GOMAXPROCS suffix; with
+// -count > 1 the metrics of the last pass win (the passes measure the same
+// build, and a stable key set is what the trajectory needs).
+//
+// Verify mode reads `go test -list '^Benchmark'` output on stdin and fails
+// if any live benchmark has no entry in the file, or the file records a
+// benchmark that no longer exists — the staleness gate ci runs:
+//
+//	go test -run '^$' -list '^Benchmark' ./... | benchjson -verify BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's recorded trajectory point.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("o", "", "record mode: write the JSON trajectory to this file")
+	verify := flag.String("verify", "", "verify mode: check this trajectory file against the benchmark list on stdin")
+	flag.Parse()
+
+	switch {
+	case *out != "" && *verify == "":
+		if err := record(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	case *verify != "" && *out == "":
+		if err := check(*verify); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -o or -verify is required")
+		os.Exit(2)
+	}
+}
+
+// record parses bench output from stdin (echoing it through) and writes
+// the trajectory file.
+func record(path string) error {
+	results := map[string]Metrics{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if name, m, ok := parseBenchLine(line); ok {
+			results[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results on stdin; is -bench output being piped in?")
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), path)
+	return nil
+}
+
+// parseBenchLine extracts (name, metrics) from one `go test -bench` result
+// line; ok is false for non-result lines.
+func parseBenchLine(line string) (string, Metrics, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Metrics{}, false
+	}
+	var m Metrics
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", Metrics{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			m.BytesPerOp = int64(v)
+		case "allocs/op":
+			m.AllocsPerOp = int64(v)
+		}
+	}
+	if !seenNs {
+		return "", Metrics{}, false
+	}
+	return procSuffix.ReplaceAllString(f[0], ""), m, true
+}
+
+// check compares the trajectory file against the benchmark list on stdin.
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%v (run `make bench` to record the trajectory)", err)
+	}
+	var results map[string]Metrics
+	if err := json.Unmarshal(data, &results); err != nil {
+		return fmt.Errorf("parsing %s: %v", path, err)
+	}
+
+	// Top-level benchmark names recorded in the file (keys may carry
+	// /sub-benchmark paths).
+	recorded := map[string]bool{}
+	for name := range results {
+		top, _, _ := strings.Cut(name, "/")
+		recorded[top] = true
+	}
+
+	live := map[string]bool{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		name := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(name, "Benchmark") && !strings.ContainsAny(name, " \t") {
+			live[name] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("no benchmarks on stdin; is `go test -list '^Benchmark'` output being piped in?")
+	}
+
+	var missing, orphaned []string
+	for name := range live {
+		if !recorded[name] {
+			missing = append(missing, name)
+		}
+	}
+	for top := range recorded {
+		if !live[top] {
+			orphaned = append(orphaned, top)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(orphaned)
+	for _, n := range missing {
+		fmt.Fprintf(os.Stderr, "benchjson: %s has no entry in %s\n", n, path)
+	}
+	for _, n := range orphaned {
+		fmt.Fprintf(os.Stderr, "benchjson: %s records %s, which no longer exists\n", path, n)
+	}
+	if len(missing)+len(orphaned) > 0 {
+		return fmt.Errorf("%s is stale relative to the benchmark list; run `make bench` to refresh it", path)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s covers all %d benchmarks\n", path, len(live))
+	return nil
+}

@@ -1,0 +1,22 @@
+// Command repolint is the repository's static-analysis driver: it bundles
+// the internal/lint analyzers into a unitchecker binary that plugs into
+// the standard go vet machinery:
+//
+//	go build -o bin/repolint ./cmd/repolint
+//	go vet -vettool=bin/repolint ./...
+//
+// `make lint` wires exactly that into ci. Each analyzer takes a -scope
+// flag (comma-separated package paths, "all" for everything) defaulting
+// to the data-plane packages its contract covers; see internal/lint for
+// the contracts and the //lint:ignore suppression syntax.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

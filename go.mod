@@ -1,3 +1,9 @@
 module repro
 
-go 1.21
+go 1.22.0
+
+toolchain go1.24.0
+
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

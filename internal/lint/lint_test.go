@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestDeterminismFixture(t *testing.T)   { runFixture(t, DeterminismAnalyzer, "determinism") }
+func TestChargingFixture(t *testing.T)      { runFixture(t, ChargingAnalyzer, "charging") }
+func TestPoolLifecycleFixture(t *testing.T) { runFixture(t, PoolLifecycleAnalyzer, "poollifecycle") }
+func TestForkSafetyFixture(t *testing.T)    { runFixture(t, ForkSafetyAnalyzer, "forksafety") }
+func TestAllocHygieneFixture(t *testing.T)  { runFixture(t, AllocHygieneAnalyzer, "allochygiene") }
+
+// TestSuiteComplete pins the suite's composition: exactly the five
+// contract analyzers, every one carrying the scope flag and a doc string,
+// so cmd/repolint loads what DESIGN.md documents.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"repodeterminism",
+		"repocharging",
+		"repopoollifecycle",
+		"repoforksafety",
+		"repoallochygiene",
+	}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no doc", a.Name)
+		}
+		if a.Flags.Lookup("scope") == nil {
+			t.Errorf("%s has no scope flag", a.Name)
+		}
+	}
+}
+
+// TestRepolintSmoke builds cmd/repolint and runs it through the real
+// `go vet -vettool` protocol over a clean in-scope package: the driver
+// must load all five analyzers and exit 0.
+func TestRepolintSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "repolint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/repolint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building repolint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./internal/engine/...")
+	vet.Dir = root
+	vet.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on a clean package: %v\n%s", err, out)
+	}
+}

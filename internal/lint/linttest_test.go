@@ -1,0 +1,252 @@
+package lint
+
+// The fixture harness: a small reimplementation of analysistest (which the
+// offline toolchain does not vendor) sufficient for this suite. Each
+// testdata/<analyzer> directory is one fixture package; the harness parses
+// and typechecks it with the source importer (fixtures stub the repo's
+// types and import only std), runs the analyzer with its dependencies
+// resolved topologically, and matches every diagnostic against the
+// `// want "regexp"` comment on the same line — unmatched diagnostics and
+// unmet expectations both fail, so each fixture pins positives (flagged
+// lines) and negatives (blessed idioms that must stay silent) at once.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// runFixture runs a (with its Requires closure) over testdata/<dir> and
+// checks diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+
+	// Fixtures live outside the data-plane import paths, so widen the
+	// analyzer's scope for the duration of the test.
+	if f := a.Flags.Lookup("scope"); f != nil {
+		prev := f.Value.String()
+		if err := a.Flags.Set("scope", "all"); err != nil {
+			t.Fatal(err)
+		}
+		defer a.Flags.Set("scope", prev)
+	}
+
+	fset := token.NewFileSet()
+	root := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(root, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files under %s", root)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("fixture/"+dir, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	runAnalyzer(t, a, fset, files, pkg, info, &diags)
+	checkWants(t, fset, files, diags)
+}
+
+// runAnalyzer executes a and its dependency closure, collecting the root
+// analyzer's diagnostics into diags.
+func runAnalyzer(t *testing.T, root *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, diags *[]analysis.Diagnostic) {
+	t.Helper()
+	results := map[*analysis.Analyzer]interface{}{}
+	type objFactKey struct {
+		obj types.Object
+		t   reflect.Type
+	}
+	type pkgFactKey struct {
+		pkg *types.Package
+		t   reflect.Type
+	}
+	objFacts := map[objFactKey]analysis.Fact{}
+	pkgFacts := map[pkgFactKey]analysis.Fact{}
+
+	var run func(a *analysis.Analyzer)
+	run = func(a *analysis.Analyzer) {
+		if _, done := results[a]; done {
+			return
+		}
+		for _, dep := range a.Requires {
+			run(dep)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if a == root {
+					*diags = append(*diags, d)
+				}
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				f, ok := objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+				if ok {
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+				}
+				return ok
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+			},
+			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+				f, ok := pkgFacts[pkgFactKey{p, reflect.TypeOf(fact)}]
+				if ok {
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+				}
+				return ok
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}] = fact
+			},
+			AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+			AllPackageFacts: func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	run(root)
+}
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+
+// checkWants matches diagnostics against `// want "re"` (or backquoted)
+// expectations by file and line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	type expectation struct {
+		re  *regexp.Regexp
+		met bool
+	}
+	wants := map[key][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pat := range splitWantPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for _, exp := range wants[k] {
+			if !exp.met && exp.re.MatchString(d.Message) {
+				exp.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.met {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, exp.re)
+			}
+		}
+	}
+}
+
+// splitWantPatterns extracts the quoted or backquoted regexps from the tail
+// of a want comment.
+func splitWantPatterns(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if end := strings.IndexByte(s[i+1:], '"'); end >= 0 {
+				if pat, err := unquote(s[i : i+end+2]); err == nil {
+					out = append(out, pat)
+				}
+				i += end + 1
+			}
+		case '`':
+			if end := strings.IndexByte(s[i+1:], '`'); end >= 0 {
+				out = append(out, s[i+1:i+1+end])
+				i += end + 1
+			}
+		}
+	}
+	return out
+}
+
+func unquote(s string) (string, error) {
+	var out string
+	_, err := fmt.Sscanf(s, "%q", &out)
+	return out, err
+}

@@ -1,0 +1,58 @@
+// Package fixture exercises the repoallochygiene analyzer: functions whose
+// doc comment carries the lint:alloc-ceiling marker (meaning an
+// AllocsPerRun regression test holds their allocation count to a fixed
+// ceiling) must not allocate inside loops.
+package fixture
+
+// hotLoop allocates per item on a ceilinged path.
+//
+//lint:alloc-ceiling
+func hotLoop(n int, out [][]int) {
+	for i := 0; i < n; i++ {
+		buf := make([]int, 4) // want `make inside a loop in hotLoop`
+		out[i] = buf
+	}
+}
+
+// hotRange covers new and composite literals under a range loop.
+//
+//lint:alloc-ceiling
+func hotRange(xs []int, sink func(interface{})) {
+	for range xs {
+		sink(new(int))    // want `new inside a loop in hotRange`
+		sink([]int{1, 2}) // want `slice/map literal inside a loop in hotRange`
+	}
+}
+
+// hotForked keeps the loop depth through a forked closure: the closure's
+// loops run per task, so its allocations scale the same way.
+//
+//lint:alloc-ceiling
+func hotForked(fork func(int, func(int)), out [][]byte) {
+	fork(len(out), func(task int) {
+		for i := range out[task] {
+			out[task][i] = byte(len(make([]byte, 1))) // want `make inside a loop in hotForked`
+		}
+	})
+}
+
+// hotSetup allocates only outside loops: per-call setup is priced into the
+// ceiling.
+//
+//lint:alloc-ceiling
+func hotSetup(n int) []int {
+	buf := make([]int, n)
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
+}
+
+// coldLoop has no marker, so per-item allocation is its own business.
+func coldLoop(n int) [][]int {
+	var out [][]int
+	for i := 0; i < n; i++ {
+		out = append(out, make([]int, 4))
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Package fixture exercises the repoforksafety analyzer: closures passed
+// to runtime.Fork may only write per-task slots indexed by the task
+// parameter (or values derived from it inside the closure).
+package fixture
+
+// Fork stubs runtime.Fork; the analyzer matches by name and signature.
+func Fork(n int, fn func(task int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+type stats struct{ total int }
+
+func sharedWrites(out []int, st *stats, p *int) {
+	total := 0
+	k := 2
+	Fork(4, func(task int) {
+		total++         // want `forked closure writes captured variable total`
+		out[k] = task   // want `forked closure writes out at an index not derived from the task`
+		st.total = task // want `forked closure writes field total of captured st`
+		*p = task       // want `forked closure writes through captured pointer p`
+	})
+	_ = total
+}
+
+func sharedAppend() []int {
+	var buf []int
+	Fork(4, func(task int) {
+		buf = append(buf, task) // want `forked closure writes captured variable buf`
+	})
+	return buf
+}
+
+// perTaskSlots is the blessed shape: every write lands in a window indexed
+// by the task parameter or a value derived from it.
+func perTaskSlots(out []int, bases []int, perTask [][]int) {
+	Fork(4, func(task int) {
+		base := bases[task]
+		out[task] = base
+		for i := 0; i < 3; i++ {
+			perTask[task] = append(perTask[task], base+i)
+		}
+	})
+}
+
+// localState inside the closure is task-private.
+func localState(out []int) {
+	Fork(4, func(task int) {
+		acc := 0
+		for i := 0; i < 10; i++ {
+			acc += i
+		}
+		out[task] = acc
+	})
+}
+
+// readsAreFree: captured inputs are shared read-only.
+func readsAreFree(in []int, out []int) {
+	Fork(len(in), func(task int) {
+		out[task] = in[task] * 2
+	})
+}

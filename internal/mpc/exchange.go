@@ -159,6 +159,8 @@ func planSpans(parts []Columns, tasks int) []span {
 }
 
 // newExchangePlan runs the counting pass over d with the given task count.
+//
+//lint:alloc-ceiling
 func newExchangePlan(d *Dist, rt router, tasks int) *exchangePlan {
 	p := d.C.P
 	plan := &exchangePlan{p: p, spans: planSpans(d.Parts, tasks)}
@@ -219,6 +221,8 @@ func newExchangePlan(d *Dist, rt router, tasks int) *exchangePlan {
 // alloc sums the per-task counts into exact destination capacities, sizes
 // out's columns once, and derives each task's write offsets. The output
 // carries annotation columns only when some source part does.
+//
+//lint:alloc-ceiling
 func (plan *exchangePlan) alloc(d, out *Dist) {
 	withAnnots := d.hasAnnots()
 	plan.totals = make([]int, plan.p)
@@ -243,6 +247,8 @@ func (plan *exchangePlan) alloc(d, out *Dist) {
 // — disjoint across tasks by construction — moving runs of same-destination
 // items as per-column block copies, and charges its deliveries to its own
 // cluster shard.
+//
+//lint:alloc-ceiling
 func (plan *exchangePlan) scatter(d, out *Dist) {
 	runtime.Fork(len(plan.spans), func(w int) {
 		sp := plan.spans[w]

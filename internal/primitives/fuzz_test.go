@@ -43,7 +43,8 @@ func FuzzSampleSortParity(f *testing.F) {
 		prevPool := SetRecordPooling(pooled)
 		defer SetRecordPooling(prevPool)
 		c := mpc.NewCluster(pp)
-		rc := recsToCols(recs)
+		rc := getRecCols(len(recs))
+		fillRecCols(rc, recs)
 		sampleSortCols(rc, b)
 		bounds := chopBounds(c, rc.len())
 		gotStats := c.Snapshot()

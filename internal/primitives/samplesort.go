@@ -62,6 +62,8 @@ func sortAndChop(c *mpc.Cluster, rc *recCols) []int {
 // sampleSortCols stable-sorts the record columns by (key, tag) with b
 // partition tasks. All scratch comes from one pooled sortScratch: a
 // steady-state sort allocates nothing but the splitter sample.
+//
+//lint:alloc-ceiling
 func sampleSortCols(rc *recCols, b int) {
 	n := rc.len()
 	if n < 2 {
@@ -154,6 +156,8 @@ func sampleSortCols(rc *recCols, b int) {
 // permuteCols applies the sorted rank vector to every column in one pass
 // per column, through the scratch's permute columns, which are swapped in
 // (the record set's old columns become the next sort's scratch).
+//
+//lint:alloc-ceiling
 func permuteCols(rc *recCols, sc *sortScratch, order []int32) {
 	n := len(order)
 	ks := ensureSlice(sc.keys, n)
@@ -182,6 +186,8 @@ const insertionRun = 24
 // runs, then buffered merges of 4-byte indices. The sorted vector ends in
 // a or in buf depending on the pass count; the returned slice is whichever
 // holds it, so the caller copies only when it actually needs the other one.
+//
+//lint:alloc-ceiling
 func stableSortIdx(rc *recCols, a, buf []int32) []int32 {
 	n := len(a)
 	if n < 2 {
@@ -213,6 +219,8 @@ func stableSortIdx(rc *recCols, a, buf []int32) []int32 {
 
 // insertionSortIdx is a stable insertion sort: an index moves left only
 // past strictly greater records.
+//
+//lint:alloc-ceiling
 func insertionSortIdx(rc *recCols, a []int32) {
 	for i := 1; i < len(a); i++ {
 		x := a[i]
@@ -227,6 +235,8 @@ func insertionSortIdx(rc *recCols, a []int32) {
 
 // mergeIdx merges sorted index runs a and b into dst (len(dst) =
 // len(a)+len(b)), taking from a on ties — the stability rule.
+//
+//lint:alloc-ceiling
 func mergeIdx(rc *recCols, dst, a, b []int32) {
 	i, j, k := 0, 0, 0
 	for i < len(a) && j < len(b) {

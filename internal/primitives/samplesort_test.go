@@ -77,15 +77,15 @@ func sortInputs(n int) []sortInput {
 	}
 }
 
-// recsToCols loads an array-of-structs record set into a pooled columnar
-// set — the bridge between the retained []rec references and the columnar
-// sort under test.
-func recsToCols(recs []rec) *recCols {
-	rc := getRecCols(len(recs))
+// fillRecCols loads an array-of-structs record set into a caller-acquired
+// columnar set — the bridge between the retained []rec references and the
+// columnar sort under test. The caller owns rc (acquires it and puts it
+// back); a helper that returned a pooled buffer would leak it past its
+// owner, which is exactly what repolint's poollifecycle analyzer flags.
+func fillRecCols(rc *recCols, recs []rec) {
 	for _, r := range recs {
 		rc.append(r.key, r.tag, r.it.T, r.it.A)
 	}
-	return rc
 }
 
 // colsChunk extracts chunk s of a sorted columnar set as []rec for
@@ -120,7 +120,9 @@ func TestSampleSortParityWithSerialRef(t *testing.T) {
 				for _, width := range []int{1, 2, 8} {
 					prev := runtime.SetParallelism(width)
 					c := mpc.NewCluster(p)
-					rc := recsToCols(in.recs())
+					recs := in.recs()
+					rc := getRecCols(len(recs))
+					fillRecCols(rc, recs)
 					bounds := sortAndChop(c, rc)
 					gotStats := c.Snapshot()
 
@@ -160,7 +162,8 @@ func TestSampleSortPropertyRandomShapes(t *testing.T) {
 
 		width := 1 + rng.Intn(8)
 		prev := runtime.SetParallelism(width)
-		rc := recsToCols(recs)
+		rc := getRecCols(len(recs))
+		fillRecCols(rc, recs)
 		sampleSortCols(rc, width)
 		runtime.SetParallelism(prev)
 
@@ -290,7 +293,9 @@ func TestSampleSortWidthSweepDeterminism(t *testing.T) {
 		for _, width := range []int{1, 2, 4, 8} {
 			prev := runtime.SetParallelism(width)
 			c := mpc.NewCluster(p)
-			rc := recsToCols(mk.recs())
+			recs := mk.recs()
+			rc := getRecCols(len(recs))
+			fillRecCols(rc, recs)
 			bounds := sortAndChop(c, rc)
 			got := make([][]rec, p)
 			for s := 0; s < p; s++ {
