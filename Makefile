@@ -19,10 +19,14 @@ COVER_FLOOR_PRIMITIVES ?= 90
 # fuzz-smoke budget per target.
 FUZZTIME ?= 10s
 
-# The benchmark trajectory file this PR generation writes (see ROADMAP).
-BENCH_JSON ?= BENCH_6.json
+# The benchmark trajectory file this PR generation writes (see ROADMAP),
+# and the previous generation's file it is compared against: benchjson
+# prints per-benchmark ns/op deltas and warns when one regresses past its
+# threshold.
+BENCH_JSON ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_6.json
 
-.PHONY: ci fmt vet build test race smoke bench bench-all bench-smoke bench-verify fuzz-smoke cover lint lint-fix-list tidy-check experiments
+.PHONY: ci fmt vet build test race smoke bench bench-all bench-smoke bench-verify fuzz-smoke cover lint lint-fix-list tidy-check contracts contracts-verify experiments
 
 # ci is tier-1 plus race checking, a public-API smoke pass, coverage
 # floors, a fuzz-smoke pass over the data-plane parity targets, a
@@ -30,7 +34,7 @@ BENCH_JSON ?= BENCH_6.json
 # check, and the benchmark-trajectory staleness gate in one command: if an
 # example, CLI, benchmark, fuzz target, coverage floor, or contract
 # analyzer stops holding, ci fails.
-ci: fmt vet lint tidy-check build race smoke cover fuzz-smoke bench-smoke bench-verify
+ci: fmt vet lint tidy-check build race smoke cover fuzz-smoke bench-smoke bench-verify contracts-verify
 
 fmt:
 	@out="$$(gofmt -l . | grep -v '^third_party/')"; \
@@ -106,6 +110,26 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzExchangeParity$$' -fuzztime $(FUZZTIME) ./internal/mpc
 	$(GO) test -run '^$$' -fuzz '^FuzzSampleSortParity$$' -fuzztime $(FUZZTIME) ./internal/primitives
 
+# contracts regenerates CONTRACTS.md from the engine registry and the
+# round-cost classifier (repolint -contracts runs standalone: under go
+# vet, result caching would skip the write).
+contracts:
+	@mkdir -p bin
+	$(GO) build -o bin/repolint ./cmd/repolint
+	bin/repolint -contracts -o CONTRACTS.md
+
+# contracts-verify fails when CONTRACTS.md drifted from the registry or
+# the classifier: an algorithm, declaration, or charge path changed
+# without `make contracts`.
+contracts-verify:
+	@mkdir -p bin
+	@$(GO) build -o bin/repolint ./cmd/repolint
+	@bin/repolint -contracts -o bin/CONTRACTS.md.new
+	@if ! diff -u CONTRACTS.md bin/CONTRACTS.md.new; then \
+		echo "contracts-verify: CONTRACTS.md is stale; run make contracts"; exit 1; \
+	fi
+	@echo "contracts-verify: CONTRACTS.md matches the registry"
+
 # bench runs the exchange microbenchmarks (override with BENCH=…) as
 # COUNT counted passes with allocation stats, and records the last pass of
 # each benchmark into $(BENCH_JSON) — the trajectory point ci's
@@ -115,7 +139,7 @@ fuzz-smoke:
 #	make bench > new.txt && git stash && make bench > old.txt
 #	benchstat old.txt new.txt
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON) -baseline $(BENCH_BASELINE)
 
 # bench-verify fails when $(BENCH_JSON) is stale relative to the counted
 # benchmark list: a benchmark was added, renamed, or removed without

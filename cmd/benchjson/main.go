@@ -16,6 +16,14 @@
 // benchmark that no longer exists — the staleness gate ci runs:
 //
 //	go test -run '^$' -list '^Benchmark' ./... | benchjson -verify BENCH_6.json
+//
+// Record mode optionally compares against the previous generation's file:
+//
+//	... | benchjson -o BENCH_7.json -baseline BENCH_6.json
+//
+// prints per-benchmark ns/op deltas for every name both files share and
+// warns (non-fatally: hardware varies across recording machines) about
+// regressions past -threshold percent.
 package main
 
 import (
@@ -42,11 +50,18 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	out := flag.String("o", "", "record mode: write the JSON trajectory to this file")
 	verify := flag.String("verify", "", "verify mode: check this trajectory file against the benchmark list on stdin")
+	baseline := flag.String("baseline", "", "record mode: previous trajectory file to print ns/op deltas against")
+	threshold := flag.Float64("threshold", 15, "record mode: warn when ns/op regresses by more than this percent over -baseline")
 	flag.Parse()
+
+	if *baseline != "" && *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -baseline requires -o (record mode)")
+		os.Exit(2)
+	}
 
 	switch {
 	case *out != "" && *verify == "":
-		if err := record(*out); err != nil {
+		if err := record(*out, *baseline, *threshold); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -62,8 +77,9 @@ func main() {
 }
 
 // record parses bench output from stdin (echoing it through) and writes
-// the trajectory file.
-func record(path string) error {
+// the trajectory file, then reports ns/op deltas against baseline (if
+// given).
+func record(path, baseline string, threshold float64) error {
 	results := map[string]Metrics{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -88,6 +104,61 @@ func record(path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), path)
+	if baseline != "" {
+		if err := compare(results, baseline, threshold); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compare prints per-benchmark ns/op deltas of results over the baseline
+// trajectory file. Regressions past threshold percent warn but do not
+// fail: trajectory files are recorded on whatever machine ran `make
+// bench`, so cross-file deltas are advisory, not a gate.
+func compare(results map[string]Metrics, baseline string, threshold float64) error {
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		// A missing baseline is not an error: the first generation has
+		// nothing to compare against.
+		fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v); skipping deltas\n", err)
+		return nil
+	}
+	var base map[string]Metrics
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %v", baseline, err)
+	}
+
+	var shared []string
+	for name := range results {
+		if _, ok := base[name]; ok {
+			shared = append(shared, name)
+		}
+	}
+	sort.Strings(shared)
+	if len(shared) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks shared with %s; skipping deltas\n", baseline)
+		return nil
+	}
+
+	fmt.Fprintf(os.Stderr, "benchjson: ns/op deltas vs %s\n", baseline)
+	warned := 0
+	for _, name := range shared {
+		old, new := base[name].NsPerOp, results[name].NsPerOp
+		if old == 0 {
+			continue
+		}
+		pct := (new - old) / old * 100
+		mark := ""
+		if pct > threshold {
+			mark = fmt.Sprintf("  WARNING: regression past %.0f%%", threshold)
+			warned++
+		}
+		fmt.Fprintf(os.Stderr, "  %-60s %12.1f -> %12.1f  %+7.1f%%%s\n", name, old, new, pct, mark)
+	}
+	if warned > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.0f%% ns/op; investigate before recording\n", warned, threshold)
+	}
 	return nil
 }
 

@@ -9,14 +9,50 @@
 // flag (comma-separated package paths, "all" for everything) defaulting
 // to the data-plane packages its contract covers; see internal/lint for
 // the contracts and the //lint:ignore suppression syntax.
+//
+// A second mode renders the algorithm round/communication contract table:
+//
+//	bin/repolint -contracts [-o CONTRACTS.md] [-root DIR]
+//
+// It runs standalone (not under go vet: vet caches analyzer results, so a
+// cached run would skip the write) and regenerates CONTRACTS.md from the
+// engine registry and the round-cost classifier; `make contracts` and the
+// `make contracts-verify` drift gate wrap it.
 package main
 
 import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"repro/internal/lint"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-contracts" {
+		fs := flag.NewFlagSet("repolint -contracts", flag.ExitOnError)
+		out := fs.String("o", "CONTRACTS.md", "output file (- for stdout)")
+		root := fs.String("root", ".", "module root directory")
+		fs.Parse(os.Args[2:])
+
+		var buf bytes.Buffer
+		if err := lint.WriteContracts(&buf, *root); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint -contracts: %v\n", err)
+			os.Exit(1)
+		}
+		if *out == "-" {
+			os.Stdout.Write(buf.Bytes())
+			return
+		}
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint -contracts: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return
+	}
 	unitchecker.Main(lint.Analyzers()...)
 }

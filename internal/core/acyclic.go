@@ -31,6 +31,8 @@ import (
 // Every intermediate is therefore bounded by max(OUT/τ, Nβ·τ) = √(Nβ·OUT),
 // which is the whole point: Section 4.1 shows no single join order achieves
 // this, but the degree decomposition always does.
+//
+//lint:rounds const
 func AcyclicJoin(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if !in.Q.IsAcyclic() {
 		panic("core: AcyclicJoin on cyclic query")
@@ -51,6 +53,8 @@ func AcyclicJoin(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc
 // acyclicRec computes the (already fully reduced) join of edges/dists and
 // returns the result over the union of their attributes. out is the output
 // size of the ORIGINAL query (intermediate bounds only need an upper bound).
+//
+//lint:rounds const trust self-recursion bounded by the query's join-tree depth; each level charges a fixed round schedule
 func acyclicRec(c *mpc.Cluster, edges []hypergraph.AttrSet, dists []*mpc.Dist,
 	ring relation.Semiring, out int64, seed uint64, depth int) *mpc.Dist {
 

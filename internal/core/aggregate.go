@@ -31,6 +31,8 @@ type AggregateResult struct {
 
 // LinearAggro eliminates the non-output attributes of the free-connex
 // query (in.Q, y). It panics if the query is not free-connex.
+//
+//lint:rounds const
 func LinearAggro(c *mpc.Cluster, in *Instance, y hypergraph.AttrSet, seed uint64) AggregateResult {
 	w := hypergraph.WithOutput{Q: in.Q, Y: y}
 	if !w.IsFreeConnex() {
@@ -139,6 +141,8 @@ func scalarOf(d *mpc.Dist, ring relation.Semiring) int64 {
 // CountOutput computes OUT = |Q(R)| for an acyclic join in O(1) rounds with
 // linear load (Corollary 4): LinearAggro under the count ring with y = ∅.
 // This is the MPC primitive the output-optimal algorithms start with.
+//
+//lint:rounds const
 func CountOutput(c *mpc.Cluster, in *Instance, seed uint64) int64 {
 	counted := &Instance{Q: in.Q, Rels: in.Rels, Ring: relation.CountRing}
 	dists := LoadInstance(c, counted)
@@ -148,6 +152,8 @@ func CountOutput(c *mpc.Cluster, in *Instance, seed uint64) int64 {
 // CountOutputDists is CountOutput on already-distributed relations, with
 // annotations forced to 1 so it counts tuples regardless of the semiring
 // the caller runs under.
+//
+//lint:rounds const
 func CountOutputDists(q *hypergraph.Hypergraph, dists []*mpc.Dist, seed uint64) int64 {
 	ones := make([]*mpc.Dist, len(dists))
 	for i, d := range dists {
@@ -163,6 +169,8 @@ func CountOutputDists(q *hypergraph.Hypergraph, dists []*mpc.Dist, seed uint64) 
 // LinearAggro, then the output-optimal join over the frontier relations
 // (Theorem 9). The result is distributed over y's schema; em, when non-nil,
 // observes every output tuple with its aggregate annotation.
+//
+//lint:rounds const
 func Aggregate(c *mpc.Cluster, in *Instance, y hypergraph.AttrSet, seed uint64, em mpc.Emitter) *mpc.Dist {
 	res := LinearAggro(c, in, y, seed)
 	ySchema := y.Schema()

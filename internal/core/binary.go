@@ -27,6 +27,8 @@ const (
 // (fragment-replicate), which bounds its per-server input by 2·L0 and
 // output by ~OUT/p; light keys are hashed. The result stays distributed on
 // the servers that produced it; em (optional) observes every result tuple.
+//
+//lint:rounds const
 func BinaryJoin(a, b *mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emitter) *mpc.Dist {
 	c := a.C
 	shared := a.Schema.Intersect(b.Schema)

@@ -16,6 +16,8 @@ import (
 // up to polylog factors, because the per-relation grid dimensions adapt to
 // the relation sizes. Implemented as the keyed multiway join with an empty
 // key, whose allocator chooses exactly those dimensions.
+//
+//lint:rounds const
 func HyperCubeProduct(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if !IsProductQuery(in.Q) {
 		panic("core: HyperCubeProduct needs pairwise disjoint relations")

@@ -22,6 +22,8 @@ import (
 // omitted here: the harness runs this algorithm on the paper's balanced
 // lower-bound instances (Figure 4), where the plain grid already attains
 // the bound. Skewed workloads should use Line3/AcyclicJoin instead.
+//
+//lint:rounds const
 func Line3WorstCase(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	b, cAttr := line3Attrs(in)
 	dists := LoadInstance(c, in)

@@ -21,6 +21,8 @@ import (
 // grid, which mirrors the per-instance lower bound (2): L ≈ max_S
 // (|Q(R,S)|/p)^{1/|S|}. Each such key gets a ⌈d_1/L⌉ × … × ⌈d_m/L⌉
 // hypercube of servers; light keys are hashed.
+//
+//lint:rounds const
 func MultiwayKeyedJoin(key relation.Schema, dists []*mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if len(dists) == 0 {
 		panic("core: MultiwayKeyedJoin of nothing")

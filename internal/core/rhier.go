@@ -50,6 +50,8 @@ func degreeSizer(rels []*relation.Relation) int64 {
 }
 
 // RHier computes an r-hierarchical join with load O(IN/p + L_instance).
+//
+//lint:rounds const
 func RHier(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if !in.Q.IsRHierarchical() {
 		panic("core: RHier on non-r-hierarchical query")
@@ -79,6 +81,8 @@ func RHier(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist 
 // r-hierarchical joins); without it, dangling tuples can inflate the
 // degree-based shares, which is exactly the one-round barrier the paper
 // describes.
+//
+//lint:rounds const
 func BinHC(c *mpc.Cluster, in *Instance, seed uint64, removeDangling bool, em mpc.Emitter) *mpc.Dist {
 	if !in.Q.IsRHierarchical() {
 		panic("core: BinHC on non-r-hierarchical query")
@@ -372,6 +376,8 @@ func serversFor(rels []*relation.Relation, fixed hypergraph.AttrSet, l int64, si
 
 // planServers dry-runs the recursion and returns the total number of leaf
 // servers the allocation would use at load target l.
+//
+//lint:rounds zero
 func planServers(rels []*relation.Relation, fixed hypergraph.AttrSet, l int64, size sizer) int {
 	active, _ := splitScalars(rels, fixed)
 	if len(active) <= 1 {

@@ -19,6 +19,8 @@ import (
 // (The paper gives no matching upper bound below that range — the gap it
 // leaves open; the harness plots the measured load against both branches of
 // the Ω̃(min{IN/p + OUT/p, IN/p^{2/3}}) bound.)
+//
+//lint:rounds const
 func Triangle(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	a, b, cc := triangleAttrs(in)
 	dists := LoadInstance(c, in)

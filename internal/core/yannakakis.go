@@ -24,6 +24,8 @@ func LoadInstance(c *mpc.Cluster, in *Instance) []*mpc.Dist {
 // tree: one bottom-up and one top-down semi-join pass [34]. O(1) rounds,
 // linear load. It panics on cyclic queries. Fully deterministic: the
 // semi-joins sort, they do not hash, so no seed is taken.
+//
+//lint:rounds const
 func FullReduce(in *Instance, dists []*mpc.Dist) []*mpc.Dist {
 	tree, ok := in.Q.GYO()
 	if !ok {
@@ -83,6 +85,8 @@ func DefaultJoinOrder(q *hypergraph.Hypergraph) []int {
 // reduction every intermediate result is part of a full join result, so
 // intermediate sizes — and hence the inputs of later binary joins — can
 // reach Θ(OUT). Section 4.1 shows this is inherent for fixed orders.
+//
+//lint:rounds const
 func Yannakakis(c *mpc.Cluster, in *Instance, order []int, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if order == nil {
 		order = DefaultJoinOrder(in.Q)

@@ -263,3 +263,14 @@ func BoundOf(a Algorithm) string {
 	}
 	return ""
 }
+
+// RoundClassOf returns a's declared round class (zero, const, log, or
+// loop), or "" when the algorithm does not implement the optional
+// RoundClass method. The repobound analyzer verifies the declaration
+// statically; the harness checks it against observed Result.Rounds.
+func RoundClassOf(a Algorithm) string {
+	if r, ok := a.(interface{ RoundClass() string }); ok {
+		return r.RoundClass()
+	}
+	return ""
+}

@@ -72,6 +72,7 @@ func runAllocHygiene(pass *analysis.Pass) (interface{}, error) {
 		}
 		checkAllocsInLoops(pass, report, fd)
 	})
+	ignores.reportUnused(pass)
 	return nil, nil
 }
 

@@ -94,6 +94,7 @@ func runCharging(pass *analysis.Pass) (interface{}, error) {
 		}
 		checkReturnPaths(pass, report, fd, g)
 	})
+	ignores.reportUnused(pass)
 	return nil, nil
 }
 

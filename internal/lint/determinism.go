@@ -124,6 +124,7 @@ func runDeterminism(pass *analysis.Pass) (interface{}, error) {
 		}
 		return true
 	})
+	ignores.reportUnused(pass)
 	return nil, nil
 }
 

@@ -60,6 +60,7 @@ func runForkSafety(pass *analysis.Pass) (interface{}, error) {
 		}
 		checkForkClosure(pass, report, lit)
 	})
+	ignores.reportUnused(pass)
 	return nil, nil
 }
 

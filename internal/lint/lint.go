@@ -1,4 +1,4 @@
-// Package lint is the repository's static-analysis suite: five custom
+// Package lint is the repository's static-analysis suite: seven custom
 // go/analysis analyzers that enforce, at compile time, the contracts the
 // runtime test fences (width sweeps, fuzz parity, -race, AllocsPerRun
 // ceilings) can only sample:
@@ -16,6 +16,12 @@
 //	               captured state outside a per-task window
 //	allochygiene   functions under an AllocsPerRun ceiling, marked
 //	               lint:alloc-ceiling, must not allocate inside loops
+//	roundcost      every function gets a static round-cost class (zero,
+//	               const, log, loop, unknown) composed inter-procedurally
+//	               from exported facts and checked against //lint:rounds
+//	               declarations
+//	repobound      every registered algorithm declares its round class,
+//	               which its run body's static classification must respect
 //
 // The suite runs through cmd/repolint (`go vet -vettool`), so every
 // package — including future ones — inherits the contracts for free.
@@ -24,7 +30,9 @@
 //	//lint:ignore <analyzer> <reason>
 //
 // on the flagged line or the line above; the reason is mandatory and a
-// directive without one never suppresses anything.
+// directive without one never suppresses anything. A directive that
+// suppresses nothing is itself reported, so stale escape hatches cannot
+// accumulate.
 package lint
 
 import (
@@ -45,6 +53,8 @@ func Analyzers() []*analysis.Analyzer {
 		PoolLifecycleAnalyzer,
 		ForkSafetyAnalyzer,
 		AllocHygieneAnalyzer,
+		RoundCostAnalyzer,
+		RepoBoundAnalyzer,
 	}
 }
 
@@ -71,18 +81,32 @@ func isTestFile(fset *token.FileSet, pos token.Pos) bool {
 }
 
 // ignoreIndex records the //lint:ignore directives of one package: for each
-// analyzer, the set of file lines on which its diagnostics are suppressed.
-// A directive suppresses its own line and the line below, so it can sit on
-// the flagged line or on its own line directly above.
+// analyzer, the file lines on which its diagnostics are suppressed. A
+// directive suppresses its own line and the line below, so it can sit on
+// the flagged line or on its own line directly above. Each directive
+// tracks whether it ever suppressed anything: a stale escape hatch — one
+// that covers no diagnostic — is itself reported at the end of the run.
 type ignoreIndex struct {
-	lines map[string]map[int]bool // analyzer name → suppressed lines
+	self     string
+	covered  map[string]map[lineKey]*ignoreDirective // analyzer name → covered lines
+	selfDirs []*ignoreDirective                      // directives naming the running analyzer
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type ignoreDirective struct {
+	pos  token.Pos
+	used bool
 }
 
 // buildIgnoreIndex scans the package's comments for lint:ignore directives
 // and reports malformed ones (no analyzer, or no reason) that mention the
 // running analyzer — a reasonless suppression is itself a violation.
 func buildIgnoreIndex(pass *analysis.Pass, self string) *ignoreIndex {
-	idx := &ignoreIndex{lines: map[string]map[int]bool{}}
+	idx := &ignoreIndex{self: self, covered: map[string]map[lineKey]*ignoreDirective{}}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -101,14 +125,18 @@ func buildIgnoreIndex(pass *analysis.Pass, self string) *ignoreIndex {
 					}
 					continue
 				}
-				line := pass.Fset.Position(c.Pos()).Line
-				m := idx.lines[name]
+				p := pass.Fset.Position(c.Pos())
+				d := &ignoreDirective{pos: c.Pos()}
+				m := idx.covered[name]
 				if m == nil {
-					m = map[int]bool{}
-					idx.lines[name] = m
+					m = map[lineKey]*ignoreDirective{}
+					idx.covered[name] = m
 				}
-				m[line] = true
-				m[line+1] = true
+				m[lineKey{p.Filename, p.Line}] = d
+				m[lineKey{p.Filename, p.Line + 1}] = d
+				if name == self {
+					idx.selfDirs = append(idx.selfDirs, d)
+				}
 			}
 		}
 	}
@@ -116,9 +144,27 @@ func buildIgnoreIndex(pass *analysis.Pass, self string) *ignoreIndex {
 }
 
 // suppressed reports whether a diagnostic of the named analyzer at pos is
-// covered by a lint:ignore directive.
+// covered by a lint:ignore directive, marking the directive as used.
 func (idx *ignoreIndex) suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
-	return idx.lines[name][fset.Position(pos).Line]
+	p := fset.Position(pos)
+	d := idx.covered[name][lineKey{p.Filename, p.Line}]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// reportUnused reports every directive naming the running analyzer that
+// suppressed no diagnostic: a stale escape hatch is a violation, so vetted
+// exceptions can't outlive the code they excused. Analyzers call it at the
+// end of their run, once every potential diagnostic has been tested.
+func (idx *ignoreIndex) reportUnused(pass *analysis.Pass) {
+	for _, d := range idx.selfDirs {
+		if !d.used {
+			pass.Reportf(d.pos, "lint:ignore %s suppresses no diagnostic; remove the stale directive", idx.self)
+		}
+	}
 }
 
 // calleeFunc resolves a call expression to the *types.Func it invokes

@@ -12,8 +12,18 @@ func TestChargingFixture(t *testing.T)      { runFixture(t, ChargingAnalyzer, "c
 func TestPoolLifecycleFixture(t *testing.T) { runFixture(t, PoolLifecycleAnalyzer, "poollifecycle") }
 func TestForkSafetyFixture(t *testing.T)    { runFixture(t, ForkSafetyAnalyzer, "forksafety") }
 func TestAllocHygieneFixture(t *testing.T)  { runFixture(t, AllocHygieneAnalyzer, "allochygiene") }
+func TestRoundCostFixture(t *testing.T)     { runFixture(t, RoundCostAnalyzer, "roundcost") }
+func TestRepoBoundFixture(t *testing.T)     { runFixture(t, RepoBoundAnalyzer, "repobound") }
 
-// TestSuiteComplete pins the suite's composition: exactly the five
+// TestRoundFactsAcrossPackages exercises the facts mechanism end to end:
+// the chargee package exports round-cost facts, and the caller package
+// composes them across the package boundary — the violations it pins exist
+// only if the facts actually flowed.
+func TestRoundFactsAcrossPackages(t *testing.T) {
+	runMultiFixture(t, RoundCostAnalyzer, "roundfacts", []string{"chargee", "caller"})
+}
+
+// TestSuiteComplete pins the suite's composition: exactly the seven
 // contract analyzers, every one carrying the scope flag and a doc string,
 // so cmd/repolint loads what DESIGN.md documents.
 func TestSuiteComplete(t *testing.T) {
@@ -23,6 +33,8 @@ func TestSuiteComplete(t *testing.T) {
 		"repopoollifecycle",
 		"repoforksafety",
 		"repoallochygiene",
+		"reporoundcost",
+		"repobound",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

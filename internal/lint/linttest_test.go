@@ -32,19 +32,103 @@ import (
 // checks diagnostics against the fixture's want comments.
 func runFixture(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
+	runMultiFixture(t, a, dir, nil)
+}
 
-	// Fixtures live outside the data-plane import paths, so widen the
-	// analyzer's scope for the duration of the test.
-	if f := a.Flags.Lookup("scope"); f != nil {
-		prev := f.Value.String()
-		if err := a.Flags.Set("scope", "all"); err != nil {
-			t.Fatal(err)
-		}
-		defer a.Flags.Set("scope", prev)
-	}
+// runMultiFixture runs a over a multi-package fixture: testdata/<dir>/<sub>
+// for each listed subdirectory, typechecked and analyzed in order, with
+// facts flowing from earlier packages to later ones (the packages import
+// each other as "fixture/<dir>/<sub>"). A nil subs list means dir itself is
+// the single fixture package. Diagnostics of every package run are matched
+// against the union of all want comments.
+func runMultiFixture(t *testing.T, a *analysis.Analyzer, dir string, subs []string) {
+	t.Helper()
+
+	// Fixtures live outside the data-plane import paths, so widen every
+	// scoping flag of the analyzer and its dependency closure for the
+	// duration of the test.
+	restore := widenScopes(t, a)
+	defer restore()
 
 	fset := token.NewFileSet()
-	root := filepath.Join("testdata", dir)
+	fixturePkgs := map[string]*types.Package{}
+	imp := &fixtureImporter{
+		pkgs:     fixturePkgs,
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+
+	facts := newFactStore()
+	var diags []analysis.Diagnostic
+	var allFiles []*ast.File
+	paths := []string{dir}
+	if len(subs) > 0 {
+		paths = nil
+		for _, sub := range subs {
+			paths = append(paths, filepath.Join(dir, sub))
+		}
+	}
+	for _, p := range paths {
+		files, pkg, info := typecheckFixture(t, fset, p, imp)
+		fixturePkgs["fixture/"+filepath.ToSlash(p)] = pkg
+		allFiles = append(allFiles, files...)
+		runAnalyzer(t, a, fset, files, pkg, info, facts, &diags)
+	}
+	checkWants(t, fset, allFiles, diags)
+}
+
+// widenScopes sets every string flag named scope/declscope to "all" on a
+// and its Requires closure, returning a restore function.
+func widenScopes(t *testing.T, root *analysis.Analyzer) func() {
+	t.Helper()
+	var restores []func()
+	seen := map[*analysis.Analyzer]bool{}
+	var widen func(a *analysis.Analyzer)
+	widen = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, name := range []string{"scope", "declscope"} {
+			if f := a.Flags.Lookup(name); f != nil {
+				prev := f.Value.String()
+				if err := a.Flags.Set(name, "all"); err != nil {
+					t.Fatal(err)
+				}
+				flag, fname := a.Flags, name
+				restores = append(restores, func() { flag.Set(fname, prev) })
+			}
+		}
+		for _, dep := range a.Requires {
+			widen(dep)
+		}
+	}
+	widen(root)
+	return func() {
+		for _, r := range restores {
+			r()
+		}
+	}
+}
+
+// fixtureImporter resolves "fixture/..." paths to already-typechecked
+// fixture packages and everything else through the source importer.
+type fixtureImporter struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.pkgs[path]; ok {
+		return p, nil
+	}
+	return i.fallback.Import(path)
+}
+
+// typecheckFixture parses and typechecks one fixture package rooted at
+// testdata/<rel>, imported as "fixture/<rel>".
+func typecheckFixture(t *testing.T, fset *token.FileSet, rel string, imp types.Importer) ([]*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	root := filepath.Join("testdata", rel)
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		t.Fatal(err)
@@ -73,32 +157,47 @@ func runFixture(t *testing.T, a *analysis.Analyzer, dir string) {
 		Scopes:     map[ast.Node]*types.Scope{},
 		Instances:  map[*ast.Ident]types.Instance{},
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := conf.Check("fixture/"+dir, fset, files, info)
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check("fixture/"+filepath.ToSlash(rel), fset, files, info)
 	if err != nil {
-		t.Fatalf("typecheck %s: %v", dir, err)
+		t.Fatalf("typecheck %s: %v", rel, err)
 	}
+	return files, pkg, info
+}
 
-	var diags []analysis.Diagnostic
-	runAnalyzer(t, a, fset, files, pkg, info, &diags)
-	checkWants(t, fset, files, diags)
+// factStore holds object and package facts shared across the package runs
+// of one fixture, so facts exported while analyzing package b are imported
+// while analyzing a later package a that imports b — the same flow the
+// unitchecker driver provides through its facts files.
+type factStore struct {
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+}
+
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		objFacts: map[objFactKey]analysis.Fact{},
+		pkgFacts: map[pkgFactKey]analysis.Fact{},
+	}
 }
 
 // runAnalyzer executes a and its dependency closure, collecting the root
 // analyzer's diagnostics into diags.
-func runAnalyzer(t *testing.T, root *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, diags *[]analysis.Diagnostic) {
+func runAnalyzer(t *testing.T, root *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *factStore, diags *[]analysis.Diagnostic) {
 	t.Helper()
 	results := map[*analysis.Analyzer]interface{}{}
-	type objFactKey struct {
-		obj types.Object
-		t   reflect.Type
-	}
-	type pkgFactKey struct {
-		pkg *types.Package
-		t   reflect.Type
-	}
-	objFacts := map[objFactKey]analysis.Fact{}
-	pkgFacts := map[pkgFactKey]analysis.Fact{}
+	objFacts := facts.objFacts
+	pkgFacts := facts.pkgFacts
 
 	var run func(a *analysis.Analyzer)
 	run = func(a *analysis.Analyzer) {

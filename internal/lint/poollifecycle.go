@@ -72,6 +72,7 @@ func runPoolLifecycle(pass *analysis.Pass) (interface{}, error) {
 		}
 		checkPoolOwnership(pass, report, carriers, fd)
 	})
+	ignores.reportUnused(pass)
 	return nil, nil
 }
 

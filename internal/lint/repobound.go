@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// RepoBoundAnalyzer closes the loop between what an algorithm declares and
+// what its code can reach: every `Register(&adapter{...})` in the engine
+// registry must carry a machine-readable round declaration
+// (`rounds: "zero|const|log|loop"`), the static class of its run body
+// (computed by reporoundcost from the charging facts) must not exceed it
+// and must not be Unknown, and the human-readable `bound` string must not
+// smuggle round-count claims in prose — the paper's Figure 1 bounds are
+// load bounds; round behavior belongs in the checked rounds field.
+var RepoBoundAnalyzer = &analysis.Analyzer{
+	Name:     "repobound",
+	Doc:      "registered algorithms must declare a round class that their run body's static classification respects",
+	Run:      runRepoBound,
+	Requires: []*analysis.Analyzer{RoundCostAnalyzer},
+}
+
+func init() {
+	RepoBoundAnalyzer.Flags.String("scope", "repro/internal/engine",
+		"comma-separated package paths to check (\"all\" for every package)")
+}
+
+// adapterLit is one extracted Register(&adapter{...}) registration.
+type adapterLit struct {
+	pos       token.Pos
+	name      string // name: field value ("" if absent or non-literal)
+	bound     string // bound: field value
+	rounds    string // rounds: field value
+	hasRounds bool
+	roundsPos token.Pos
+	boundPos  token.Pos
+	run       ast.Expr // run: field value (nil if absent)
+}
+
+// parseAdapters extracts every Register(&T{...}) composite-literal
+// registration from the files, in source order. Shared by the repobound
+// analyzer and the CONTRACTS.md generator.
+func parseAdapters(info *types.Info, files []*ast.File) []adapterLit {
+	var out []adapterLit
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Name() != "Register" || len(call.Args) == 0 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				arg = ast.Unparen(ue.X)
+			}
+			lit, ok := arg.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			a := adapterLit{pos: lit.Pos()}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "name":
+					a.name = stringLit(kv.Value)
+				case "bound":
+					a.bound = stringLit(kv.Value)
+					a.boundPos = kv.Value.Pos()
+				case "rounds":
+					a.rounds = stringLit(kv.Value)
+					a.hasRounds = true
+					a.roundsPos = kv.Value.Pos()
+				case "run":
+					a.run = kv.Value
+				}
+			}
+			out = append(out, a)
+			return true
+		})
+	}
+	return out
+}
+
+// stringLit unquotes a string literal expression ("" for anything else).
+func stringLit(e ast.Expr) string {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	s := lit.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return ""
+}
+
+// runClass classifies an adapter's run value: a function literal is
+// classified in place, a named function through its (fact-backed) class.
+func runClass(rc *RoundCosts, info *types.Info, run ast.Expr) (RoundClass, bool) {
+	switch v := ast.Unparen(run).(type) {
+	case *ast.FuncLit:
+		return rc.FuncLitClass(v), true
+	case *ast.Ident:
+		if fn, ok := info.Uses[v].(*types.Func); ok {
+			return rc.FuncClass(fn), true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[v.Sel].(*types.Func); ok {
+			return rc.FuncClass(fn), true
+		}
+	}
+	return RoundsUnknown, false
+}
+
+func runRepoBound(pass *analysis.Pass) (interface{}, error) {
+	scope := pass.Analyzer.Flags.Lookup("scope").Value.String()
+	if !inScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ignores := buildIgnoreIndex(pass, pass.Analyzer.Name)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !ignores.suppressed(pass.Fset, pass.Analyzer.Name, pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	rc := pass.ResultOf[RoundCostAnalyzer].(*RoundCosts)
+
+	// Only non-test files register algorithms.
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f.Pos()) {
+			files = append(files, f)
+		}
+	}
+
+	for _, a := range parseAdapters(pass.TypesInfo, files) {
+		name := a.name
+		if name == "" {
+			name = "adapter"
+		}
+		if !a.hasRounds {
+			report(a.pos, "%s has no rounds declaration: add rounds: \"zero|const|log|loop\" matching its Figure 1 round behavior", name)
+			continue
+		}
+		declared, ok := ParseRoundClass(a.rounds)
+		if !ok {
+			report(a.roundsPos, "%s declares invalid round class %q (want zero, const, log, or loop)", name, a.rounds)
+			continue
+		}
+		if strings.Contains(strings.ToLower(a.bound), "round") {
+			report(a.boundPos, "%s's bound string %q claims round behavior in prose; the bound field is the load bound — declare rounds in the checked rounds field", name, a.bound)
+		}
+		if a.run == nil {
+			report(a.pos, "%s has no run function to classify", name)
+			continue
+		}
+		class, resolved := runClass(rc, pass.TypesInfo, a.run)
+		if !resolved || class == RoundsUnknown {
+			report(a.run.Pos(), "%s's run body classifies as unknown round cost; restructure it or declare its callees so the class resolves", name)
+			continue
+		}
+		if class > declared {
+			report(a.roundsPos, "%s's run body reaches charges of class %s, which exceeds its declared rounds %q", name, class, a.rounds)
+		}
+	}
+	ignores.reportUnused(pass)
+	return nil, nil
+}

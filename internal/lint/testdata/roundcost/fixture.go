@@ -1,0 +1,234 @@
+// Package roundcost exercises the static round-cost classifier: a stub
+// cluster grounds the lattice with one trusted base charge, and each
+// function pins a composition or escalation rule — positives flag, blessed
+// idioms stay silent.
+package roundcost
+
+// Value is data-like by the element-type rule: a slice of Values holds one
+// entry per input value, so its length scales with the data.
+type Value string
+
+type cluster struct{ rounds int }
+
+// newRound is the fixture's grounding axiom.
+//
+//lint:rounds const trust fixture base charge
+func (c *cluster) newRound() { c.rounds++ }
+
+// ChargeOnce is a declared charging primitive.
+//
+//lint:rounds const
+func ChargeOnce(c *cluster) { c.newRound() }
+
+// Undeclared composes ChargeOnce's class within the package but carries no
+// declaration of its own.
+func Undeclared(c *cluster) { // want "exported Undeclared charges rounds \\(class const\\) but has no //lint:rounds declaration"
+	ChargeOnce(c)
+}
+
+// StructuralLoop charges inside a loop over a structural slice: []int
+// lengths are set by the query, not the data, so the class stays const.
+//
+//lint:rounds const
+func StructuralLoop(c *cluster, order []int) {
+	for range order {
+		c.newRound()
+	}
+}
+
+// DataLoop charges once per data value; the declaration understates it.
+//
+//lint:rounds const
+func DataLoop(c *cluster, vals []Value) { // want "DataLoop computes round class loop, which exceeds its declared //lint:rounds const"
+	for range vals {
+		c.newRound()
+	}
+}
+
+// MapLoop ranges over a map: trip count scales with the data.
+//
+//lint:rounds const
+func MapLoop(c *cluster, m map[int]int) { // want "MapLoop computes round class loop, which exceeds its declared //lint:rounds const"
+	for range m {
+		c.newRound()
+	}
+}
+
+// TracedBound charges 2^k times where k is a structural length: the bound
+// traces through the single assignment to the len of an []int.
+//
+//lint:rounds const
+func TracedBound(c *cluster, order []int) {
+	k := len(order)
+	for i := 0; i < 1<<k; i++ {
+		c.newRound()
+	}
+}
+
+// DataBound traces to the len of a data slice.
+//
+//lint:rounds const
+func DataBound(c *cluster, vals []Value) { // want "DataBound computes round class loop, which exceeds its declared //lint:rounds const"
+	n := len(vals)
+	for i := 0; i < n; i++ {
+		c.newRound()
+	}
+}
+
+// HalvingSearch charges once per halving step: a log-bounded loop lifts
+// const to log.
+//
+//lint:rounds log
+func HalvingSearch(c *cluster, n int) {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c.newRound()
+		if mid%2 == 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+}
+
+// HalvingUnderdeclared is the same loop declared const.
+//
+//lint:rounds const
+func HalvingUnderdeclared(c *cluster, n int) { // want "HalvingUnderdeclared computes round class log, which exceeds its declared //lint:rounds const"
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c.newRound()
+		if mid%2 == 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+}
+
+// TrustedZero asserts zero against a charging body: trust skips the check
+// (the escape hatch recursion and simulator internals need).
+//
+//lint:rounds zero trust fixture asserts the body away
+func TrustedZero(c *cluster) {
+	c.newRound()
+}
+
+// BadClass carries an unparseable declaration.
+//
+//lint:rounds banana // want "lint:rounds declaration on BadClass has unknown class \"banana\""
+func BadClass(c *cluster) {
+	c.newRound()
+}
+
+// NoReason trusts without saying why.
+//
+//lint:rounds const trust // want "lint:rounds trust declaration on NoReason needs a reason"
+func NoReason(c *cluster) {
+	c.newRound()
+}
+
+// RecDeclared recurses with a declaration: the cycle assumes the declared
+// class (assume/guarantee), so it resolves without a diagnostic.
+//
+//lint:rounds const
+func RecDeclared(c *cluster, depth int) {
+	if depth == 0 {
+		return
+	}
+	c.newRound()
+	RecDeclared(c, depth-1)
+}
+
+// recUndeclared recurses with nothing to assume.
+func recUndeclared(c *cluster, n int) { // want "recUndeclared is recursive and needs a //lint:rounds declaration"
+	if n == 0 {
+		return
+	}
+	c.newRound()
+	recUndeclared(c, n-1)
+}
+
+// ClosureBound resolves a call through a variable bound once to a literal.
+//
+//lint:rounds const
+func ClosureBound(c *cluster) {
+	step := func() { c.newRound() }
+	step()
+}
+
+// Immediate inlines an immediately-invoked literal.
+//
+//lint:rounds const
+func Immediate(c *cluster) {
+	func() { c.newRound() }()
+}
+
+// Spawned charges only inside go/defer closures, which run outside this
+// function's round structure (forked work charges child clusters), so it
+// classifies zero and needs no declaration.
+func Spawned(c *cluster) {
+	go func() { c.newRound() }()
+	defer func() { c.newRound() }()
+}
+
+// EarlyOut branches compose by max: the empty early-out does not lower the
+// charging path's class, and the charging path does not raise the guard's.
+//
+//lint:rounds const
+func EarlyOut(c *cluster, vals []Value) *cluster {
+	if len(vals) == 0 {
+		return nil
+	}
+	c.newRound()
+	return c
+}
+
+// ZeroWalk uses the recursive-closure walker idiom without charging:
+// assume/guarantee at Zero resolves the anonymous fixpoint, so the
+// function classifies zero and needs no declaration.
+func ZeroWalk(depths []int) int {
+	total := 0
+	var walk func(d int)
+	walk = func(d int) {
+		if d == 0 {
+			total++
+			return
+		}
+		walk(d - 1)
+	}
+	for _, d := range depths {
+		walk(d)
+	}
+	return total
+}
+
+// ChargingWalk recurses through a closure that charges: no declaration can
+// anchor an anonymous fixpoint, so it must be declared (or restructured).
+func ChargingWalk(c *cluster, depth int) { // want "ChargingWalk cannot be classified \\(a recursive closure charges rounds\\) and needs a //lint:rounds declaration"
+	var walk func(d int)
+	walk = func(d int) {
+		if d == 0 {
+			return
+		}
+		c.newRound()
+		walk(d - 1)
+	}
+	walk(depth)
+}
+
+// SuppressedUndeclared is the vetted-exception path: the directive below
+// covers the missing-declaration diagnostic, and by being used it escapes
+// the stale-directive report.
+//
+//lint:ignore reporoundcost fixture exercises the suppression path
+func SuppressedUndeclared(c *cluster) {
+	ChargeOnce(c)
+}
+
+// Harmless charges nothing, so the directive suppresses nothing.
+//
+//lint:ignore reporoundcost stale excuse // want "lint:ignore reporoundcost suppresses no diagnostic; remove the stale directive"
+func Harmless() {}

@@ -1,0 +1,36 @@
+// Package caller composes round-cost facts imported from the chargee
+// package: every diagnostic here exists only because the facts flowed
+// across the package boundary.
+package caller
+
+import "fixture/roundfacts/chargee"
+
+// Pipeline charges per structural step: imported const under a structural
+// loop stays const.
+//
+//lint:rounds const
+func Pipeline(c *chargee.Cluster, order []int) {
+	for range order {
+		chargee.ChargeOnce(c)
+	}
+}
+
+// PerValue charges once per data value: the imported const fact escalates
+// under the data-bound loop and exceeds the declaration.
+//
+//lint:rounds const
+func PerValue(c *chargee.Cluster, vals []chargee.Value) { // want "PerValue computes round class loop, which exceeds its declared //lint:rounds const"
+	for range vals {
+		chargee.ChargeOnce(c)
+	}
+}
+
+// Relay charges through the imported primitive with no declaration of its
+// own; without the imported fact it would classify zero and stay silent.
+func Relay(c *chargee.Cluster) { // want "exported Relay charges rounds \\(class const\\) but has no //lint:rounds declaration"
+	chargee.ChargeOnce(c)
+}
+
+// FreeUse calls the fact-free function: no fact means zero, the std-lib
+// assumption.
+func FreeUse(c *chargee.Cluster) { chargee.Free(c) }

@@ -1,0 +1,23 @@
+// Package chargee is the charging half of the cross-package fact fixture:
+// it exports round-cost facts the caller package composes.
+package chargee
+
+// Value is data-like by the element-type rule.
+type Value string
+
+// Cluster is the stub simulator.
+type Cluster struct{ rounds int }
+
+// newRound is the grounding axiom.
+//
+//lint:rounds const trust fixture base charge
+func (c *Cluster) newRound() { c.rounds++ }
+
+// ChargeOnce charges one round; its const fact crosses the package
+// boundary.
+//
+//lint:rounds const
+func ChargeOnce(c *Cluster) { c.newRound() }
+
+// Free charges nothing and exports no fact.
+func Free(c *Cluster) {}

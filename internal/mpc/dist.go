@@ -128,6 +128,8 @@ func (d *Dist) Positions(attrs []relation.Attr) []int {
 // hash % P. Salt decorrelates successive shuffles of the same keys. The
 // hash is computed straight off the tuple values (HashTupleAt), so the
 // routing pass allocates nothing per item.
+//
+//lint:rounds const
 func (d *Dist) ShuffleByKey(pos []int, salt uint64) *Dist {
 	p := d.C.P
 	return d.route(d.Schema, router{one: func(_ int, it Item) int {
@@ -137,23 +139,31 @@ func (d *Dist) ShuffleByKey(pos []int, salt uint64) *Dist {
 
 // ShuffleByAttrs hashes each item's projection onto attrs (resolved against
 // the schema) and routes it to hash % P.
+//
+//lint:rounds const
 func (d *Dist) ShuffleByAttrs(attrs []relation.Attr, salt uint64) *Dist {
 	return d.ShuffleByKey(d.Positions(attrs), salt)
 }
 
 // ShuffleBy routes each item to the single server chosen by f.
+//
+//lint:rounds const
 func (d *Dist) ShuffleBy(f func(it Item) int) *Dist {
 	return d.route(d.Schema, router{one: func(_ int, it Item) int { return f(it) }})
 }
 
 // ReplicateBy routes each item to every server chosen by f (used by
 // HyperCube-style plans where a tuple is copied along grid dimensions).
+//
+//lint:rounds const
 func (d *Dist) ReplicateBy(f func(it Item) []int) *Dist {
 	return d.route(d.Schema, router{many: func(_ int, it Item) []int { return f(it) }})
 }
 
 // Broadcast copies every item to all servers: one round, load = Size() per
 // server. Only used for provably small collections (boundaries, statistics).
+//
+//lint:rounds const
 func (d *Dist) Broadcast() *Dist {
 	all := make([]int, d.C.P)
 	for i := range all {
@@ -163,6 +173,8 @@ func (d *Dist) Broadcast() *Dist {
 }
 
 // GatherTo ships everything to a single server.
+//
+//lint:rounds const
 func (d *Dist) GatherTo(s int) *Dist {
 	return d.route(d.Schema, router{one: func(_ int, _ Item) int { return s }})
 }

@@ -314,6 +314,8 @@ func (plan *exchangePlan) release() {
 
 // route ships items to destination servers and charges one round through
 // the batched exchange (see the protocol comment above).
+//
+//lint:rounds const
 func (d *Dist) route(schema relation.Schema, rt router) *Dist {
 	tasks := runtime.Parallelism()
 	if d.Size() < exchangeSerialBelow {
@@ -324,6 +326,8 @@ func (d *Dist) route(schema relation.Schema, rt router) *Dist {
 
 // routeTasks is route with an explicit task count — the fuzz and parity
 // tests use it to force multi-task plans below exchangeSerialBelow.
+//
+//lint:rounds const
 func (d *Dist) routeTasks(schema relation.Schema, rt router, tasks int) *Dist {
 	c := d.C
 	out := &Dist{C: c, Schema: schema, Parts: make([]Columns, c.P)}

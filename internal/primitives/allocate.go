@@ -18,6 +18,8 @@ func (r Range) Width() int { return r.Hi - r.Lo }
 // O(#subproblems) entries — the callers guarantee #subproblems = O(p).
 //
 // The returned map is keyed by the subproblem tuple's encoding.
+//
+//lint:rounds const
 func AllocateServers(dir *mpc.Dist) map[string]Range {
 	out := make(map[string]Range, dir.Size())
 	offset := 0

@@ -29,6 +29,8 @@ type LookupResult struct {
 // directory scan's interner doubles as the duplicate-key check, repeated
 // probe keys share one string allocation, and the columns are recycled on
 // return — no per-call []rec rebuild.
+//
+//lint:rounds const
 func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr,
 	outSchema relation.Schema,
 	combine func(it mpc.Item, r LookupResult) (mpc.Item, bool)) *mpc.Dist {
@@ -111,6 +113,8 @@ func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr
 // it is first reduced to one entry per key. The sort underneath is
 // splitter-based but deterministic (stride sampling, no RNG), so no salt
 // is needed — the parameter the old hash-based sketches reserved is gone.
+//
+//lint:rounds const
 func SemiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr) *mpc.Dist {
 	// An empty probe side is empty output; don't pay for sorting the
 	// directory either.
@@ -125,6 +129,8 @@ func SemiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.At
 }
 
 // AntiJoin returns the items of x with no matching key in d.
+//
+//lint:rounds const
 func AntiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr) *mpc.Dist {
 	if x.Size() == 0 {
 		return mpc.NewDist(x.C, x.Schema)
@@ -140,6 +146,8 @@ func AntiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.At
 // annotation of the matching d entry via ring.Mul; items without a match
 // are dropped when dropMissing, kept unchanged otherwise. This is the
 // annotation-merge step (line 9) of LinearAggroYannakakis.
+//
+//lint:rounds const
 func AttachAnnot(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr,
 	ring relation.Semiring, dropMissing bool) *mpc.Dist {
 	return Lookup(x, xKey, d, dKey, x.Schema,
@@ -154,6 +162,8 @@ func AttachAnnot(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation
 // DistinctByKey reduces d to one item per distinct key projection,
 // sort-based and skew-proof. The kept item is the first in sort order; its
 // annotation is NOT combined (use SumByKey for that).
+//
+//lint:rounds const
 func DistinctByKey(d *mpc.Dist, keyAttrs []relation.Attr) *mpc.Dist {
 	pos := d.Positions(keyAttrs)
 	schema := relation.NewSchema(keyAttrs...)

@@ -14,6 +14,8 @@ import (
 // resolved through one coordinator exchange (a key spans only consecutive
 // chunks, so per-server boundary state is O(1)). Records go through the
 // pooled columnar set — no per-call []rec rebuild.
+//
+//lint:rounds const
 func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.Attr) *mpc.Dist {
 	pos := d.Positions(keyAttrs)
 	outSchema := append(append(relation.Schema{}, d.Schema...), numberAttr)

@@ -11,6 +11,8 @@ import "repro/internal/mpc"
 // (0-based). Following the paper: each server packs locally; full groups get
 // global ids by a prefix sum over per-server counts; the ≤ p leftover
 // partial groups are packed by the coordinator in one more step.
+//
+//lint:rounds const
 func ParallelPacking(d *mpc.Dist, capacity int64) (*mpc.Dist, int) {
 	if capacity <= 0 {
 		panic("primitives: ParallelPacking with non-positive capacity")

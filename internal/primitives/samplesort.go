@@ -54,6 +54,8 @@ const splitterOversample = 8
 // parallel sample sort and distributes them into p equal chunks, charging
 // each server its chunk size in one round (the paper's one-round sample
 // sort with linear load). Chunk s is rows [bounds[s], bounds[s+1]) of rc.
+//
+//lint:rounds const
 func sortAndChop(c *mpc.Cluster, rc *recCols) []int {
 	sampleSortCols(rc, runtime.Parallelism())
 	return chopBounds(c, rc.len())

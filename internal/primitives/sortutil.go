@@ -46,6 +46,8 @@ func recLess(a, b rec) bool {
 // index windows, no copying — charging each server its chunk size in one
 // round. Chunk s is rows [bounds[s], bounds[s+1]). Shared by the parallel
 // sample sort and the serial reference, so both paths charge identically.
+//
+//lint:rounds const
 func chopBounds(c *mpc.Cluster, n int) []int {
 	p := c.P
 	chunk := (n + p - 1) / p
@@ -102,6 +104,8 @@ func serialSortAndChopRef(c *mpc.Cluster, recs []rec) [][]rec {
 // chargeCoordinatorExchange charges the standard boundary-information
 // exchange: every server sends O(1) values to the coordinator (load p at
 // server 0), which replies with O(1) values to each server (load 1 each).
+//
+//lint:rounds const
 func chargeCoordinatorExchange(c *mpc.Cluster) {
 	c.Charge(0, c.P)
 	ones := make([]int, c.P)

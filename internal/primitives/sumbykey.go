@@ -13,6 +13,8 @@ import (
 // sends at most one partial per local key and each receiver gets at most p
 // partials per assigned key: load O(IN/p + p · keys/p) = O(IN/p) — the skew
 // of the raw data never concentrates.
+//
+//lint:rounds const
 func SumByKey(d *mpc.Dist, keyAttrs []relation.Attr, ring relation.Semiring, salt uint64) *mpc.Dist {
 	pos := d.Positions(keyAttrs)
 	schema := relation.NewSchema(keyAttrs...)
@@ -23,6 +25,8 @@ func SumByKey(d *mpc.Dist, keyAttrs []relation.Attr, ring relation.Semiring, sal
 
 // CountByKey returns the degree of every key: one item per distinct key,
 // annotated with the number of matching items (annotations ignored).
+//
+//lint:rounds const
 func CountByKey(d *mpc.Dist, keyAttrs []relation.Attr, salt uint64) *mpc.Dist {
 	ones := d.MapLocal(d.Schema, func(_ int, it mpc.Item) []mpc.Item {
 		return []mpc.Item{{T: it.T, A: 1}}
@@ -63,6 +67,8 @@ func localCombine(d *mpc.Dist, pos []int, schema relation.Schema, ring relation.
 // charging the coordinator tree: each server one partial (load p at the
 // coordinator), then a broadcast of the single total (load 1 per server).
 // Every server then "knows" the value; the caller gets it directly.
+//
+//lint:rounds const
 func TotalSum(d *mpc.Dist, ring relation.Semiring) int64 {
 	total := ring.Zero
 	for s := range d.Parts {
@@ -76,6 +82,8 @@ func TotalSum(d *mpc.Dist, ring relation.Semiring) int64 {
 }
 
 // TotalCount returns the number of items, charged like TotalSum.
+//
+//lint:rounds const
 func TotalCount(d *mpc.Dist) int64 {
 	n := int64(d.Size())
 	chargeCoordinatorExchange(d.C)
