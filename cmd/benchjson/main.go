@@ -1,15 +1,19 @@
 // Command benchjson turns `go test -bench` output into the repository's
-// benchmark trajectory files (BENCH_<pr>.json) and verifies them against
-// the live benchmark list.
+// benchmark trajectory files (BENCH_<pr>.json), verifies them against the
+// live benchmark list, and gates one trajectory file against another.
 //
 // Record mode reads bench output on stdin, echoes it through unchanged,
-// and writes a JSON object mapping benchmark name → metrics:
+// aggregates the counted samples of each benchmark (run with -count ≥ 6
+// for benchstat-grade medians), and writes a JSON object mapping benchmark
+// name → metrics — median ns/op, B/op and allocs/op over the samples, the
+// sample count, and the ns/op spread (max−min as a percent of the median,
+// the quick eyeball for noisy runs):
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_6.json
+//	go test -run '^$' -bench . -benchmem -count 6 ./... | benchjson -o BENCH_8.json
 //
-// Names are normalized by stripping the trailing -GOMAXPROCS suffix; with
-// -count > 1 the metrics of the last pass win (the passes measure the same
-// build, and a stable key set is what the trajectory needs).
+// Names are normalized by stripping the trailing -GOMAXPROCS suffix.
+// Files recorded before the counted format parse fine: the sample/spread
+// fields read back as zero.
 //
 // Verify mode reads `go test -list '^Benchmark'` output on stdin and fails
 // if any live benchmark has no entry in the file, or the file records a
@@ -19,11 +23,22 @@
 //
 // Record mode optionally compares against the previous generation's file:
 //
-//	... | benchjson -o BENCH_7.json -baseline BENCH_6.json
+//	... | benchjson -o BENCH_8.json -baseline BENCH_7.json
 //
-// prints per-benchmark ns/op deltas for every name both files share and
-// warns (non-fatally: hardware varies across recording machines) about
-// regressions past -threshold percent.
+// prints per-benchmark median ns/op deltas for every name both files share
+// and warns about regressions past -threshold percent.
+//
+// Compare mode gates one recorded trajectory against another without
+// re-running anything — the ci regression gate:
+//
+//	benchjson -compare BENCH_8.json -baseline BENCH_7.json -gate 25
+//
+// exits non-zero when any shared benchmark's median ns/op regressed past
+// -gate percent. The gate is looser than the warn threshold on purpose:
+// trajectory files are recorded on whatever machine ran `make bench`, so
+// the gate must absorb machine-to-machine drift while still catching a
+// lost optimization. -gate also hardens record mode's -baseline deltas
+// from warnings into failures.
 package main
 
 import (
@@ -38,11 +53,15 @@ import (
 	"strings"
 )
 
-// Metrics is one benchmark's recorded trajectory point.
+// Metrics is one benchmark's recorded trajectory point: medians over the
+// counted samples, plus the sample count and ns/op spread. Samples and
+// NsSpreadPct are zero in files recorded before the counted format.
 type Metrics struct {
 	NsPerOp     float64 `json:"ns_op"`
 	BytesPerOp  int64   `json:"bytes_op"`
 	AllocsPerOp int64   `json:"allocs_op"`
+	Samples     int     `json:"samples,omitempty"`
+	NsSpreadPct float64 `json:"ns_spread_pct,omitempty"`
 }
 
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -50,51 +69,69 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	out := flag.String("o", "", "record mode: write the JSON trajectory to this file")
 	verify := flag.String("verify", "", "verify mode: check this trajectory file against the benchmark list on stdin")
-	baseline := flag.String("baseline", "", "record mode: previous trajectory file to print ns/op deltas against")
-	threshold := flag.Float64("threshold", 15, "record mode: warn when ns/op regresses by more than this percent over -baseline")
+	cmp := flag.String("compare", "", "compare mode: gate this trajectory file against -baseline")
+	baseline := flag.String("baseline", "", "previous trajectory file to compute ns/op deltas against")
+	threshold := flag.Float64("threshold", 15, "warn when median ns/op regresses by more than this percent over -baseline")
+	gate := flag.Float64("gate", 0, "fail (exit non-zero) when median ns/op regresses by more than this percent over -baseline; 0 disables")
 	flag.Parse()
 
-	if *baseline != "" && *out == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -baseline requires -o (record mode)")
+	modes := 0
+	for _, m := range []string{*out, *verify, *cmp} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -o, -verify or -compare is required")
+		os.Exit(2)
+	}
+	if *baseline != "" && *verify != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -baseline is meaningless with -verify")
+		os.Exit(2)
+	}
+	if *cmp != "" && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare requires -baseline")
 		os.Exit(2)
 	}
 
+	var err error
 	switch {
-	case *out != "" && *verify == "":
-		if err := record(*out, *baseline, *threshold); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-	case *verify != "" && *out == "":
-		if err := check(*verify); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -o or -verify is required")
-		os.Exit(2)
+	case *out != "":
+		err = record(*out, *baseline, *threshold, *gate)
+	case *verify != "":
+		err = check(*verify)
+	case *cmp != "":
+		err = compareFiles(*cmp, *baseline, *threshold, *gate)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
 	}
 }
 
-// record parses bench output from stdin (echoing it through) and writes
-// the trajectory file, then reports ns/op deltas against baseline (if
-// given).
-func record(path, baseline string, threshold float64) error {
-	results := map[string]Metrics{}
+// record parses bench output from stdin (echoing it through), aggregates
+// the samples of each benchmark into medians, writes the trajectory file,
+// and reports ns/op deltas against baseline (if given).
+func record(path, baseline string, threshold, gate float64) error {
+	samples := map[string][]Metrics{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
 		if name, m, ok := parseBenchLine(line); ok {
-			results[name] = m
+			samples[name] = append(samples[name], m)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	if len(results) == 0 {
+	if len(samples) == 0 {
 		return fmt.Errorf("no benchmark results on stdin; is -bench output being piped in?")
+	}
+	results := make(map[string]Metrics, len(samples))
+	for name, ss := range samples {
+		results[name] = aggregate(ss)
 	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -105,30 +142,86 @@ func record(path, baseline string, threshold float64) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), path)
 	if baseline != "" {
-		if err := compare(results, baseline, threshold); err != nil {
-			return err
+		base, err := loadTrajectory(baseline)
+		if err != nil {
+			// A missing baseline is not an error: the first generation has
+			// nothing to compare against.
+			fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v); skipping deltas\n", err)
+			return nil
 		}
+		return compare(results, base, baseline, threshold, gate)
 	}
 	return nil
 }
 
-// compare prints per-benchmark ns/op deltas of results over the baseline
-// trajectory file. Regressions past threshold percent warn but do not
-// fail: trajectory files are recorded on whatever machine ran `make
-// bench`, so cross-file deltas are advisory, not a gate.
-func compare(results map[string]Metrics, baseline string, threshold float64) error {
-	data, err := os.ReadFile(baseline)
-	if err != nil {
-		// A missing baseline is not an error: the first generation has
-		// nothing to compare against.
-		fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v); skipping deltas\n", err)
-		return nil
+// aggregate folds one benchmark's counted samples into its trajectory
+// point: median ns/op, B/op and allocs/op, the sample count, and the ns/op
+// spread as a percent of the median.
+func aggregate(ss []Metrics) Metrics {
+	ns := make([]float64, len(ss))
+	bs := make([]int64, len(ss))
+	as := make([]int64, len(ss))
+	for i, s := range ss {
+		ns[i], bs[i], as[i] = s.NsPerOp, s.BytesPerOp, s.AllocsPerOp
 	}
-	var base map[string]Metrics
-	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("parsing baseline %s: %v", baseline, err)
+	sort.Float64s(ns)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	m := Metrics{
+		NsPerOp:     medianF(ns),
+		BytesPerOp:  bs[len(bs)/2],
+		AllocsPerOp: as[len(as)/2],
+		Samples:     len(ss),
 	}
+	if m.NsPerOp > 0 {
+		m.NsSpreadPct = (ns[len(ns)-1] - ns[0]) / m.NsPerOp * 100
+	}
+	return m
+}
 
+// medianF is the median of a sorted float slice (mean of the middle pair
+// for even lengths).
+func medianF(s []float64) float64 {
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// loadTrajectory reads one trajectory file.
+func loadTrajectory(path string) (map[string]Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return m, nil
+}
+
+// compareFiles gates the trajectory file at path against the baseline file
+// — the `make bench-compare` entry point, no benchmark re-run needed.
+func compareFiles(path, baseline string, threshold, gate float64) error {
+	results, err := loadTrajectory(path)
+	if err != nil {
+		return fmt.Errorf("%v (run `make bench` to record the trajectory)", err)
+	}
+	base, err := loadTrajectory(baseline)
+	if err != nil {
+		return err
+	}
+	return compare(results, base, baseline, threshold, gate)
+}
+
+// compare prints per-benchmark median ns/op deltas of results over the
+// baseline trajectory. Regressions past threshold percent warn;
+// regressions past gate percent (when gate > 0) fail. Cross-file deltas
+// absorb machine drift, so the gate should sit well above the warn
+// threshold.
+func compare(results, base map[string]Metrics, baseline string, threshold, gate float64) error {
 	var shared []string
 	for name := range results {
 		if _, ok := base[name]; ok {
@@ -141,8 +234,8 @@ func compare(results map[string]Metrics, baseline string, threshold float64) err
 		return nil
 	}
 
-	fmt.Fprintf(os.Stderr, "benchjson: ns/op deltas vs %s\n", baseline)
-	warned := 0
+	fmt.Fprintf(os.Stderr, "benchjson: median ns/op deltas vs %s\n", baseline)
+	warned, failed := 0, 0
 	for _, name := range shared {
 		old, new := base[name].NsPerOp, results[name].NsPerOp
 		if old == 0 {
@@ -150,7 +243,11 @@ func compare(results map[string]Metrics, baseline string, threshold float64) err
 		}
 		pct := (new - old) / old * 100
 		mark := ""
-		if pct > threshold {
+		switch {
+		case gate > 0 && pct > gate:
+			mark = fmt.Sprintf("  FAIL: regression past the %.0f%% gate", gate)
+			failed++
+		case pct > threshold:
 			mark = fmt.Sprintf("  WARNING: regression past %.0f%%", threshold)
 			warned++
 		}
@@ -158,6 +255,9 @@ func compare(results map[string]Metrics, baseline string, threshold float64) err
 	}
 	if warned > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.0f%% ns/op; investigate before recording\n", warned, threshold)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past the %.0f%% ns/op gate vs %s", failed, gate, baseline)
 	}
 	return nil
 }
@@ -194,13 +294,9 @@ func parseBenchLine(line string) (string, Metrics, bool) {
 
 // check compares the trajectory file against the benchmark list on stdin.
 func check(path string) error {
-	data, err := os.ReadFile(path)
+	results, err := loadTrajectory(path)
 	if err != nil {
 		return fmt.Errorf("%v (run `make bench` to record the trajectory)", err)
-	}
-	var results map[string]Metrics
-	if err := json.Unmarshal(data, &results); err != nil {
-		return fmt.Errorf("parsing %s: %v", path, err)
 	}
 
 	// Top-level benchmark names recorded in the file (keys may carry

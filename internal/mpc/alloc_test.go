@@ -3,6 +3,7 @@ package mpc
 import (
 	"testing"
 
+	"repro/internal/relation"
 	"repro/internal/runtime"
 )
 
@@ -26,6 +27,83 @@ func TestExchangeScatterAllocCeiling(t *testing.T) {
 	if got > ceiling {
 		t.Fatalf("exchange shuffle allocates %.0f per run (n=%d, p=%d), ceiling %d — per-item allocations are back",
 			got, n, p, ceiling)
+	}
+}
+
+// TestColumnsEqualContract pins the flat-buffer equality contract: Equal
+// compares rows — tuple values and annotation values — never
+// representations. Parts holding identical rows must compare equal no
+// matter how their buffers were built (Append growth with slack capacity vs
+// exact-size resize+setRow) and no matter whether the all-1s annotation
+// column is nil or materialized; any value, annotation, width, or row-count
+// difference must break equality.
+func TestColumnsEqualContract(t *testing.T) {
+	rows := []relation.Tuple{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+
+	// Append-grown, lazy annotations, deliberately oversized capacity.
+	grown := MakeColumns(3, 64)
+	for _, r := range rows {
+		grown.Append(r, 1)
+	}
+	// Exact-size resize+setRow with a materialized all-1s annotation column
+	// — the exchange's scatter-side representation.
+	var sized Columns
+	sized.resize(3, len(rows), true)
+	for i, r := range rows {
+		sized.setRow(i, r, 1)
+	}
+	if grown.hasAnnots() || !sized.hasAnnots() {
+		t.Fatal("test premise broken: representations do not differ")
+	}
+	if !grown.Equal(&sized) || !sized.Equal(&grown) {
+		t.Fatal("identical rows in differently-built buffers must compare equal")
+	}
+
+	// Width-0 scalar rows still count and compare.
+	var s0, s1 Columns
+	for i := 0; i < 3; i++ {
+		s0.Append(relation.Tuple{}, 1)
+		s1.Append(relation.Tuple{}, 1)
+	}
+	s1.materializeAnnots()
+	if !s0.Equal(&s1) {
+		t.Fatal("width-0 parts with identical rows must compare equal")
+	}
+	s1.Append(relation.Tuple{}, 1)
+	if s0.Equal(&s1) {
+		t.Fatal("row-count difference must break equality")
+	}
+
+	// Empty parts compare equal whatever widths they have adopted.
+	e2, e5 := MakeColumns(2, 4), MakeColumns(5, 0)
+	if !e2.Equal(&e5) {
+		t.Fatal("empty parts must compare equal regardless of width")
+	}
+
+	// Value, annotation, and width differences each break equality.
+	valDiff := MakeColumns(3, 3)
+	for _, r := range rows {
+		valDiff.Append(r, 1)
+	}
+	valDiff.values[4] = 99
+	if grown.Equal(&valDiff) {
+		t.Fatal("value difference must break equality")
+	}
+	var annotDiff Columns
+	annotDiff.resize(3, len(rows), true)
+	for i, r := range rows {
+		annotDiff.setRow(i, r, 1)
+	}
+	annotDiff.annots[2] = 7
+	if grown.Equal(&annotDiff) {
+		t.Fatal("annotation difference must break equality")
+	}
+	var wideDiff Columns
+	wideDiff.resize(9, 1, false)
+	var narrow Columns
+	narrow.resize(3, 1, false)
+	if narrow.Equal(&wideDiff) {
+		t.Fatal("width difference must break equality")
 	}
 }
 

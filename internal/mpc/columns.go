@@ -6,12 +6,19 @@ import (
 	"repro/internal/relation"
 )
 
-// Columns is the struct-of-arrays item store of the data plane: the tuples
-// and annotations of one server's part live in two parallel slices instead
-// of one []Item. Routing then moves each column with contiguous copies
-// (memcpy-style block moves, the ROADMAP's columnar-storage item) instead
-// of one 32-byte struct at a time, and stages that never look at
-// annotations never touch — or allocate — the annotation column at all.
+// Columns is the flat fixed-width item store of the data plane: one part
+// holds a single contiguous value buffer plus the tuple width, so row i is
+// values[i*width : (i+1)*width]. There is no per-row slice header and no
+// per-row heap object — routing moves value ranges with contiguous copies,
+// hashing reads values straight out of the buffer, and the buffer itself is
+// the densest possible representation of a fixed-arity relation (the
+// layout-over-topology lever from the ROADMAP's flat-encoding item).
+//
+// Width is a property of the part's schema. A zero-value Columns has no
+// width yet; the first Append (or AppendColumns) adopts the width of the
+// appended row, and every later row must match. Rows are counted
+// explicitly (rows, not len(values)/width) so width-0 tuples — scalar
+// aggregates — still count rows.
 //
 // The annotation column is lazy: annots == nil means every annotation is 1
 // (the multiplicative identity of every semiring in the repository). Plain
@@ -19,24 +26,34 @@ import (
 // any number of exchanges. The invariant is maintained by every mutator:
 // appending a non-identity annotation materializes the column, and bulk
 // copies from a materialized source materialize the destination before any
-// concurrent scatter begins (see exchangePlan.alloc). Because the
-// representation of "all ones" is not unique, compare Columns with Equal,
-// which compares values, never representations.
+// concurrent scatter begins (see exchangePlan.alloc). Because neither the
+// representation of "all ones" nor the buffer capacity is unique, compare
+// Columns with Equal, which compares values, never representations.
 type Columns struct {
-	tuples []relation.Tuple
+	width  int
+	rows   int
+	values []relation.Value
 	annots []int64 // nil ⇒ every annotation is 1
 }
 
-// MakeColumns returns an empty column set with room for capacity rows.
-func MakeColumns(capacity int) Columns {
-	return Columns{tuples: make([]relation.Tuple, 0, capacity)}
+// MakeColumns returns an empty column set of the given tuple width with
+// room for capacity rows.
+func MakeColumns(width, capacity int) Columns {
+	return Columns{width: width, values: make([]relation.Value, 0, capacity*width)}
 }
 
 // Len returns the number of rows.
-func (c *Columns) Len() int { return len(c.tuples) }
+func (c *Columns) Len() int { return c.rows }
 
-// Tuple returns row i's tuple. The tuple is shared, not copied.
-func (c *Columns) Tuple(i int) relation.Tuple { return c.tuples[i] }
+// Width returns the tuple width (0 until the first row adopts one).
+func (c *Columns) Width() int { return c.width }
+
+// Tuple returns row i's tuple as a window into the flat buffer (shared,
+// not copied; capacity-clamped so appends cannot spill into row i+1).
+func (c *Columns) Tuple(i int) relation.Tuple {
+	w := c.width
+	return relation.Tuple(c.values[i*w : i*w+w : i*w+w])
+}
 
 // Annot returns row i's annotation.
 func (c *Columns) Annot(i int) int64 {
@@ -47,23 +64,39 @@ func (c *Columns) Annot(i int) int64 {
 }
 
 // Item assembles row i as an Item (for callbacks that take items).
-func (c *Columns) Item(i int) Item { return Item{T: c.tuples[i], A: c.Annot(i)} }
+func (c *Columns) Item(i int) Item { return Item{T: c.Tuple(i), A: c.Annot(i)} }
 
 // materializeAnnots backfills the annotation column with 1s so that a
 // non-identity annotation can be stored.
 func (c *Columns) materializeAnnots() {
-	c.annots = make([]int64, len(c.tuples), cap(c.tuples))
+	c.annots = make([]int64, c.rows, max(c.rows, 8))
 	for i := range c.annots {
 		c.annots[i] = 1
 	}
 }
 
-// Append adds one row.
+// adoptWidth fixes the part's width from its first row. While the part is
+// empty any width may be adopted (a zero-value Columns carries no width);
+// once rows exist every appended row must match.
+func (c *Columns) adoptWidth(w int) {
+	if c.rows == 0 {
+		c.width = w
+		c.values = c.values[:0]
+		return
+	}
+	if w != c.width {
+		panic("mpc: Columns row width mismatch")
+	}
+}
+
+// Append adds one row, copying t's values into the flat buffer.
 func (c *Columns) Append(t relation.Tuple, a int64) {
+	c.adoptWidth(len(t))
 	if a != 1 && c.annots == nil {
 		c.materializeAnnots()
 	}
-	c.tuples = append(c.tuples, t)
+	c.values = append(c.values, t...)
+	c.rows++
 	if c.annots != nil {
 		c.annots = append(c.annots, a)
 	}
@@ -74,37 +107,46 @@ func (c *Columns) AppendItem(it Item) { c.Append(it.T, it.A) }
 
 // AppendColumns bulk-appends every row of src, one copy per column.
 func (c *Columns) AppendColumns(src *Columns) {
+	if src.rows == 0 {
+		return
+	}
+	c.adoptWidth(src.width)
 	if src.annots != nil && c.annots == nil {
 		c.materializeAnnots()
 	}
-	c.tuples = append(c.tuples, src.tuples...)
+	c.values = append(c.values, src.values[:src.rows*src.width]...)
+	c.rows += src.rows
 	if c.annots == nil {
 		return
 	}
 	if src.annots != nil {
-		c.annots = append(c.annots, src.annots...)
+		c.annots = append(c.annots, src.annots[:src.rows]...)
 		return
 	}
-	for range src.tuples {
+	for i := 0; i < src.rows; i++ {
 		c.annots = append(c.annots, 1)
 	}
 }
 
-// resize sets the row count to n, allocating exactly once per column; the
-// annotation column is allocated only when asked for. Used by the exchange
-// to pre-size destination parts before the parallel scatter.
-func (c *Columns) resize(n int, withAnnots bool) {
-	c.tuples = make([]relation.Tuple, n)
+// resize sets the width and row count, allocating exactly once per column;
+// the annotation column is allocated only when asked for. Used by the
+// exchange to pre-size destination parts before the parallel scatter.
+func (c *Columns) resize(width, n int, withAnnots bool) {
+	c.width = width
+	c.rows = n
+	c.values = make([]relation.Value, n*width)
 	if withAnnots {
 		c.annots = make([]int64, n)
 	}
 }
 
 // copyAt block-copies src rows [lo, hi) into c starting at row off, one
-// contiguous copy per column. c must be pre-sized (resize); when c carries
-// annotations and src does not, the window is filled with 1s.
+// contiguous copy per column. c must be pre-sized (resize) with src's
+// width; when c carries annotations and src does not, the window is filled
+// with 1s.
 func (c *Columns) copyAt(off int, src *Columns, lo, hi int) {
-	copy(c.tuples[off:], src.tuples[lo:hi])
+	w := c.width
+	copy(c.values[off*w:], src.values[lo*w:hi*w])
 	if c.annots == nil {
 		return
 	}
@@ -121,7 +163,8 @@ func (c *Columns) copyAt(off int, src *Columns, lo, hi int) {
 // annotation column whenever a non-identity annotation can occur (the
 // exchange decides this once, before the scatter fans out).
 func (c *Columns) setRow(i int, t relation.Tuple, a int64) {
-	c.tuples[i] = t
+	w := c.width
+	copy(c.values[i*w:i*w+w], t)
 	if c.annots != nil {
 		c.annots[i] = a
 	} else if a != 1 {
@@ -131,29 +174,36 @@ func (c *Columns) setRow(i int, t relation.Tuple, a int64) {
 
 // Swap exchanges rows i and j in every column.
 func (c *Columns) Swap(i, j int) {
-	c.tuples[i], c.tuples[j] = c.tuples[j], c.tuples[i]
+	w := c.width
+	for k := 0; k < w; k++ {
+		c.values[i*w+k], c.values[j*w+k] = c.values[j*w+k], c.values[i*w+k]
+	}
 	if c.annots != nil {
 		c.annots[i], c.annots[j] = c.annots[j], c.annots[i]
 	}
 }
 
 // Equal reports whether the two column sets hold the same rows — tuple
-// values and annotation values — regardless of whether either annotation
-// column is materialized.
+// values and annotation values — regardless of buffer capacity and of
+// whether either annotation column is materialized. Two empty parts are
+// equal whatever widths they have adopted.
 func (c *Columns) Equal(o *Columns) bool {
-	if c.Len() != o.Len() {
+	if c.rows != o.rows {
 		return false
 	}
-	for i := range c.tuples {
-		a, b := c.tuples[i], o.tuples[i]
-		if len(a) != len(b) {
+	if c.rows == 0 {
+		return true
+	}
+	if c.width != o.width {
+		return false
+	}
+	n := c.rows * c.width
+	for i := 0; i < n; i++ {
+		if c.values[i] != o.values[i] {
 			return false
 		}
-		for j := range a {
-			if a[j] != b[j] {
-				return false
-			}
-		}
+	}
+	for i := 0; i < c.rows; i++ {
 		if c.Annot(i) != o.Annot(i) {
 			return false
 		}
@@ -195,5 +245,29 @@ func getInt32Zero(n int) []int32 {
 func putInt32(s []int32) {
 	if cap(s) > 0 {
 		int32Pool.Put(s[:0])
+	}
+}
+
+// bytePool recycles the hash fast path's per-row destination bytes (valid
+// whenever the cluster has ≤ 256 servers — every configuration in the
+// repository). One byte per row instead of one int32 keeps the scatter's
+// destination reads inside a quarter of the cache footprint.
+var bytePool sync.Pool
+
+// getByteCap returns a length-0 byte slice with capacity ≥ n.
+func getByteCap(n int) []byte {
+	if v := bytePool.Get(); v != nil {
+		s := v.([]byte)
+		if cap(s) >= n {
+			return s[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// putByte recycles a destination-byte buffer.
+func putByte(s []byte) {
+	if cap(s) > 0 {
+		bytePool.Put(s[:0])
 	}
 }

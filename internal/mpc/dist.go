@@ -6,15 +6,16 @@ import (
 )
 
 // Item is a tuple with its semiring annotation (1 for plain joins). Parts
-// store items columnar (see Columns); Item remains the row view handed to
-// callbacks and returned by accessors.
+// store items as flat fixed-width buffers (see Columns); Item remains the
+// row view handed to callbacks and returned by accessors — its tuple is a
+// window into the part's buffer, not a copy.
 type Item struct {
 	T relation.Tuple
 	A int64
 }
 
 // Dist is a distributed collection of items over a cluster: Parts[s] holds
-// the items currently residing on server s, stored as struct-of-arrays
+// the items currently residing on server s, stored as flat fixed-width
 // columns. Every routing operation on a Dist is one communication round and
 // is charged to the cluster.
 type Dist struct {
@@ -39,15 +40,27 @@ func (d *Dist) hasAnnots() bool {
 	return false
 }
 
-// roundRobinParts pre-sizes parts for n items spread round-robin over c
-// and charges round 0 per server — the shared batched-placement plan of
-// FromRelation and MoveTo: one exact-size allocation per column per
+// partsWidth returns the tuple width of the collection's rows: the width
+// adopted by the first non-empty part, falling back to the schema's arity
+// when every part is empty.
+func (d *Dist) partsWidth() int {
+	for s := range d.Parts {
+		if d.Parts[s].Len() > 0 {
+			return d.Parts[s].Width()
+		}
+	}
+	return len(d.Schema)
+}
+
+// roundRobinParts pre-sizes parts for n width-w items spread round-robin
+// over c and charges round 0 per server — the shared batched-placement plan
+// of FromRelation and MoveTo: one exact-size allocation per column per
 // server, no per-tuple charging and no intermediate Item structs.
-func roundRobinParts(c *Cluster, n int, withAnnots bool) []Columns {
+func roundRobinParts(c *Cluster, n, w int, withAnnots bool) []Columns {
 	parts := make([]Columns, c.P)
 	for s := 0; s < c.P && s < n; s++ {
 		cnt := (n - s + c.P - 1) / c.P
-		parts[s].resize(cnt, withAnnots)
+		parts[s].resize(w, cnt, withAnnots)
 		c.input(s, cnt)
 	}
 	return parts
@@ -55,18 +68,22 @@ func roundRobinParts(c *Cluster, n int, withAnnots bool) []Columns {
 
 // FromRelation distributes r round-robin over the cluster, charging the
 // initial placement to round 0 (the model's starting state: IN/p each).
-// The placement is columnar: each server's tuple column is filled with one
+// The placement is flat: each server's value buffer is filled with one
 // strided pass over the relation, and the annotation column exists only
 // when the relation is annotated.
 func FromRelation(c *Cluster, r *relation.Relation) *Dist {
 	d := NewDist(c, r.Schema)
 	n := len(r.Tuples)
+	w := len(r.Schema)
+	if n > 0 {
+		w = len(r.Tuples[0])
+	}
 	withAnnots := r.Annots != nil
-	d.Parts = roundRobinParts(c, n, withAnnots)
+	d.Parts = roundRobinParts(c, n, w, withAnnots)
 	for s := 0; s < c.P && s < n; s++ {
 		part := &d.Parts[s]
-		for j := range part.tuples {
-			part.tuples[j] = r.Tuples[s+j*c.P]
+		for j := 0; j < part.rows; j++ {
+			copy(part.values[j*w:(j+1)*w], r.Tuples[s+j*c.P])
 		}
 		if withAnnots {
 			for j := range part.annots {
@@ -99,7 +116,8 @@ func (d *Dist) All() []Item {
 }
 
 // ToRelation collects the distributed items into a relation (no load is
-// charged: this is a test/inspection helper, not an MPC operation).
+// charged: this is a test/inspection helper, not an MPC operation). The
+// returned tuples are windows into the parts' flat buffers.
 func (d *Dist) ToRelation(name string) *relation.Relation {
 	r := relation.New(name, d.Schema)
 	n := d.Size()
@@ -107,13 +125,9 @@ func (d *Dist) ToRelation(name string) *relation.Relation {
 	r.Annots = make([]int64, 0, n)
 	for s := range d.Parts {
 		part := &d.Parts[s]
-		r.Tuples = append(r.Tuples, part.tuples...)
-		if part.annots != nil {
-			r.Annots = append(r.Annots, part.annots...)
-		} else {
-			for i := 0; i < part.Len(); i++ {
-				r.Annots = append(r.Annots, 1)
-			}
+		for i := 0; i < part.Len(); i++ {
+			r.Tuples = append(r.Tuples, part.Tuple(i))
+			r.Annots = append(r.Annots, part.Annot(i))
 		}
 	}
 	return r
@@ -126,15 +140,13 @@ func (d *Dist) Positions(attrs []relation.Attr) []int {
 
 // ShuffleByKey hashes each item's projection onto pos and routes it to
 // hash % P. Salt decorrelates successive shuffles of the same keys. The
-// hash is computed straight off the tuple values (HashTupleAt), so the
-// routing pass allocates nothing per item.
+// router's hash fast path computes destinations straight off the flat
+// value buffer (HashTupleAt), so a hash exchange allocates nothing per
+// item and stores at most one destination byte per row.
 //
 //lint:rounds const
 func (d *Dist) ShuffleByKey(pos []int, salt uint64) *Dist {
-	p := d.C.P
-	return d.route(d.Schema, router{one: func(_ int, it Item) int {
-		return int(HashTupleAt(it.T, pos, salt) % uint64(p))
-	}})
+	return d.route(d.Schema, router{hashPos: pos, hashSalt: salt})
 }
 
 // ShuffleByAttrs hashes each item's projection onto attrs (resolved against
@@ -190,7 +202,7 @@ func (d *Dist) MapLocal(schema relation.Schema, f func(s int, it Item) []Item) *
 		if n == 0 {
 			return
 		}
-		res := MakeColumns(n)
+		var res Columns
 		for i := 0; i < n; i++ {
 			for _, it := range f(s, part.Item(i)) {
 				res.AppendItem(it)
@@ -239,16 +251,17 @@ func Concat(ds ...*Dist) *Dist {
 // MoveTo re-registers the collection on another cluster, charging the new
 // cluster's round 0 with the items as its initial input. Used when handing
 // a sub-problem to a sub-cluster; items are spread round-robin through the
-// same batched columnar placement as FromRelation.
+// same batched flat placement as FromRelation.
 func (d *Dist) MoveTo(sub *Cluster) *Dist {
 	withAnnots := d.hasAnnots()
-	out := &Dist{C: sub, Schema: d.Schema, Parts: roundRobinParts(sub, d.Size(), withAnnots)}
+	w := d.partsWidth()
+	out := &Dist{C: sub, Schema: d.Schema, Parts: roundRobinParts(sub, d.Size(), w, withAnnots)}
 	i := 0
 	for s := range d.Parts {
 		part := &d.Parts[s]
 		for j := 0; j < part.Len(); j++ {
 			dst := &out.Parts[i%sub.P]
-			dst.tuples[i/sub.P] = part.tuples[j]
+			copy(dst.values[(i/sub.P)*w:(i/sub.P+1)*w], part.values[j*w:(j+1)*w])
 			if withAnnots {
 				dst.annots[i/sub.P] = part.Annot(j)
 			}

@@ -158,12 +158,13 @@ func NewShardedEmitter(schema relation.Schema, parts int) *ShardedEmitter {
 
 // Emit implements Emitter. Concurrent calls are safe if and only if each
 // partition has a single producer — the exchange's disjoint-ownership
-// contract.
+// contract. The flat buffer copies t's values on append, so no defensive
+// Clone is needed however the producer reuses its tuple scratch.
 func (e *ShardedEmitter) Emit(server int, t relation.Tuple, annot int64) {
 	if server < 0 || server >= len(e.parts) {
 		panic("mpc: ShardedEmitter partition out of range")
 	}
-	e.parts[server].Append(t.Clone(), annot)
+	e.parts[server].Append(t, annot)
 }
 
 // Partitions reports the number of buffers.
@@ -181,8 +182,8 @@ func (e *ShardedEmitter) N() int64 {
 	return n
 }
 
-// Rel merges the buffers into one relation, partition-major, one copy per
-// column per partition.
+// Rel merges the buffers into one relation, partition-major; the returned
+// tuples are windows into the partitions' flat value buffers.
 func (e *ShardedEmitter) Rel() *relation.Relation {
 	r := relation.New("out", e.schema)
 	n := e.N()
@@ -190,13 +191,9 @@ func (e *ShardedEmitter) Rel() *relation.Relation {
 	r.Annots = make([]int64, 0, n)
 	for s := range e.parts {
 		p := &e.parts[s]
-		r.Tuples = append(r.Tuples, p.tuples...)
-		if p.annots != nil {
-			r.Annots = append(r.Annots, p.annots...)
-		} else {
-			for i := 0; i < p.Len(); i++ {
-				r.Annots = append(r.Annots, 1)
-			}
+		for i := 0; i < p.Len(); i++ {
+			r.Tuples = append(r.Tuples, p.Tuple(i))
+			r.Annots = append(r.Annots, p.Annot(i))
 		}
 	}
 	return r

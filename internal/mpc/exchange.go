@@ -18,16 +18,25 @@ import (
 //     (elided entirely while the span is uniformly fan-out 1), and a dense
 //     per-destination item count. No output memory is touched.
 //  2. Scatter. The coordinator sums the per-task counts into exact
-//     per-destination totals, sizes every destination part's columns once
-//     at exact capacity — the annotation column only when some source part
-//     carries one — and derives each task's first write offset per
+//     per-destination totals, sizes every destination part's flat buffer
+//     once at exact capacity — the annotation column only when some source
+//     part carries one — and derives each task's first write offset per
 //     destination (prefix sums in task order). Tasks then re-walk their
-//     spans and write rows into disjoint, pre-sized column windows — no
+//     spans and write rows into disjoint, pre-sized buffer windows — no
 //     locks, no growth reallocation. Runs of consecutive items bound for
 //     the same destination (gathers, sub-cluster hand-offs, skew clusters)
-//     move as contiguous per-column block copies. Each task charges its
-//     deliveries to its own Cluster.Shard, folded at the next round
-//     barrier.
+//     move as contiguous block copies of the flat value buffer. Each task
+//     charges its deliveries to its own Cluster.Shard, folded at the next
+//     round barrier.
+//
+// Hash shuffles — the hottest exchange in every algorithm — take a fast
+// path: the router carries the key positions and salt instead of a
+// closure, the counting pass hashes rows straight out of the flat buffer,
+// and the recorded destination is one byte per row (every cluster in the
+// repository has ≤ 256 servers; larger clusters recompute the hash in the
+// scatter). The destination list for a hash shuffle is therefore a quarter
+// of the generic plan's footprint and the per-row scatter is a short
+// contiguous value copy.
 //
 // All per-task scratch (destination lists, fan-outs, counts, offsets,
 // cursors) is recycled through a pool: a steady-state exchange allocates
@@ -47,12 +56,16 @@ import (
 // and the output is byte-identical either way.
 const exchangeSerialBelow = 1 << 12
 
-// router resolves an item's destinations. Exactly one field is set:
-// single-destination operations (hash shuffles, gathers) use one, which
-// never allocates a per-item slice; replicating operations use many.
+// router resolves an item's destinations. Exactly one strategy is set:
+// hash shuffles carry the key positions and salt (hashPos non-nil, the
+// flat fast path); other single-destination operations (gathers,
+// arithmetic placements) use one, which never allocates a per-item slice;
+// replicating operations use many.
 type router struct {
-	one  func(s int, it Item) int
-	many func(s int, it Item) []int
+	one      func(s int, it Item) int
+	many     func(s int, it Item) []int
+	hashPos  []int // non-nil ⇒ destination is HashTupleAt(row, hashPos, hashSalt) % P
+	hashSalt uint64
 }
 
 // ExchangeStats counts the work done by the batched exchange on one
@@ -101,7 +114,8 @@ func (sp span) each(parts []Columns, fn func(s int, cols *Columns, lo, hi int)) 
 type exchangePlan struct {
 	p      int
 	spans  []span
-	dests  [][]int32 // per task: flat destinations in (source, item, fan-out) order
+	dests  [][]int32 // per task: flat destinations in (source, item, fan-out) order; nil on the hash path
+	hdests [][]byte  // per task: one destination byte per row (hash fast path, P ≤ 256)
 	fans   [][]int32 // per task: destinations per item, in (source, item) order; nil when uniformly 1
 	counts [][]int32 // per task: dense per-destination item counts, len p
 	totals []int     // per destination: Σ over tasks
@@ -165,6 +179,14 @@ func newExchangePlan(d *Dist, rt router, tasks int) *exchangePlan {
 	p := d.C.P
 	plan := &exchangePlan{p: p, spans: planSpans(d.Parts, tasks)}
 	n := len(plan.spans)
+	if rt.hashPos != nil {
+		plan.hdests = make([][]byte, n)
+		plan.counts = make([][]int32, n)
+		runtime.Fork(n, func(w int) {
+			plan.hashCount(d, rt, w)
+		})
+		return plan
+	}
 	plan.dests = make([][]int32, n)
 	plan.fans = make([][]int32, n)
 	plan.counts = make([][]int32, n)
@@ -218,13 +240,44 @@ func newExchangePlan(d *Dist, rt router, tasks int) *exchangePlan {
 	return plan
 }
 
+// hashCount is task w's counting pass on the hash fast path: destinations
+// come straight from the flat value buffer and are recorded as one byte
+// per row when they fit (P ≤ 256); otherwise only the counts are kept and
+// the scatter recomputes the hash.
+//
+//lint:alloc-ceiling
+func (plan *exchangePlan) hashCount(d *Dist, rt router, w int) {
+	p := plan.p
+	sp := plan.spans[w]
+	cnt := getInt32Zero(p)
+	var hd []byte
+	if p <= 256 {
+		items := 0
+		sp.each(d.Parts, func(_ int, _ *Columns, lo, hi int) { items += hi - lo })
+		hd = getByteCap(items)
+	}
+	sp.each(d.Parts, func(_ int, cols *Columns, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := int(HashTupleAt(cols.Tuple(i), rt.hashPos, rt.hashSalt) % uint64(p))
+			cnt[t]++
+			if hd != nil {
+				hd = append(hd, byte(t))
+			}
+		}
+	})
+	plan.hdests[w] = hd
+	plan.counts[w] = cnt
+}
+
 // alloc sums the per-task counts into exact destination capacities, sizes
-// out's columns once, and derives each task's write offsets. The output
-// carries annotation columns only when some source part does.
+// out's flat buffers once at the source width, and derives each task's
+// write offsets. The output carries annotation columns only when some
+// source part does.
 //
 //lint:alloc-ceiling
 func (plan *exchangePlan) alloc(d, out *Dist) {
 	withAnnots := d.hasAnnots()
+	width := d.partsWidth()
 	plan.totals = make([]int, plan.p)
 	plan.bases = make([][]int32, len(plan.spans))
 	for w := range plan.spans {
@@ -237,55 +290,27 @@ func (plan *exchangePlan) alloc(d, out *Dist) {
 	}
 	for t, n := range plan.totals {
 		if n > 0 {
-			out.Parts[t].resize(n, withAnnots)
+			out.Parts[t].resize(width, n, withAnnots)
 		}
 	}
 }
 
-// scatter fans the items out into out's pre-sized column windows. Task w
+// scatter fans the items out into out's pre-sized buffer windows. Task w
 // writes the half-open offset ranges [bases[w][t], bases[w][t]+counts[w][t])
 // — disjoint across tasks by construction — moving runs of same-destination
-// items as per-column block copies, and charges its deliveries to its own
-// cluster shard.
+// items as contiguous block copies of the value buffer, and charges its
+// deliveries to its own cluster shard.
 //
 //lint:alloc-ceiling
-func (plan *exchangePlan) scatter(d, out *Dist) {
+func (plan *exchangePlan) scatter(d, out *Dist, rt router) {
 	runtime.Fork(len(plan.spans), func(w int) {
-		sp := plan.spans[w]
 		cursor := getInt32Zero(plan.p)
 		copy(cursor, plan.bases[w])
-		flat, fan := plan.dests[w], plan.fans[w]
-		di, fi := 0, 0
-		sp.each(d.Parts, func(_ int, cols *Columns, lo, hi int) {
-			if fan == nil {
-				// Uniform fan-out 1: flat[k] is row (lo+k)'s destination.
-				// Runs of equal destinations become block copies.
-				i := lo
-				for i < hi {
-					t := flat[di]
-					j, dj := i+1, di+1
-					for j < hi && flat[dj] == t {
-						j++
-						dj++
-					}
-					out.Parts[t].copyAt(int(cursor[t]), cols, i, j)
-					cursor[t] += int32(j - i)
-					i, di = j, dj
-				}
-				return
-			}
-			for i := lo; i < hi; i++ {
-				k := int(fan[fi])
-				fi++
-				t, a := cols.Tuple(i), cols.Annot(i)
-				for j := 0; j < k; j++ {
-					dst := flat[di]
-					di++
-					out.Parts[dst].setRow(int(cursor[dst]), t, a)
-					cursor[dst]++
-				}
-			}
-		})
+		if rt.hashPos != nil {
+			plan.hashScatter(d, out, rt, w, cursor)
+		} else {
+			plan.genericScatter(d, out, w, cursor)
+		}
 		sh := d.C.shardFor(w)
 		for t, n := range plan.counts[w] {
 			if n > 0 {
@@ -296,12 +321,88 @@ func (plan *exchangePlan) scatter(d, out *Dist) {
 	})
 }
 
+// hashScatter is task w's write pass on the hash fast path: each row's
+// destination comes from the per-row byte list (or a hash recomputation
+// when P > 256) and the row moves as one contiguous value copy.
+//
+//lint:alloc-ceiling
+func (plan *exchangePlan) hashScatter(d, out *Dist, rt router, w int, cursor []int32) {
+	p := plan.p
+	sp := plan.spans[w]
+	hd, hi0 := plan.hdests[w], 0
+	sp.each(d.Parts, func(_ int, cols *Columns, lo, hi int) {
+		vw := cols.width
+		for i := lo; i < hi; i++ {
+			row := cols.values[i*vw : i*vw+vw]
+			var t int
+			if hd != nil {
+				t = int(hd[hi0])
+				hi0++
+			} else {
+				t = int(HashTupleAt(relation.Tuple(row), rt.hashPos, rt.hashSalt) % uint64(p))
+			}
+			dst := &out.Parts[t]
+			off := int(cursor[t])
+			cursor[t]++
+			copy(dst.values[off*vw:off*vw+vw], row)
+			if dst.annots != nil {
+				dst.annots[off] = cols.Annot(i)
+			}
+		}
+	})
+}
+
+// genericScatter is task w's write pass for closure routers, moving runs
+// of same-destination items as per-column block copies.
+//
+//lint:alloc-ceiling
+func (plan *exchangePlan) genericScatter(d, out *Dist, w int, cursor []int32) {
+	sp := plan.spans[w]
+	flat, fan := plan.dests[w], plan.fans[w]
+	di, fi := 0, 0
+	sp.each(d.Parts, func(_ int, cols *Columns, lo, hi int) {
+		if fan == nil {
+			// Uniform fan-out 1: flat[k] is row (lo+k)'s destination.
+			// Runs of equal destinations become block copies.
+			i := lo
+			for i < hi {
+				t := flat[di]
+				j, dj := i+1, di+1
+				for j < hi && flat[dj] == t {
+					j++
+					dj++
+				}
+				out.Parts[t].copyAt(int(cursor[t]), cols, i, j)
+				cursor[t] += int32(j - i)
+				i, di = j, dj
+			}
+			return
+		}
+		for i := lo; i < hi; i++ {
+			k := int(fan[fi])
+			fi++
+			t, a := cols.Tuple(i), cols.Annot(i)
+			for j := 0; j < k; j++ {
+				dst := flat[di]
+				di++
+				out.Parts[dst].setRow(int(cursor[dst]), t, a)
+				cursor[dst]++
+			}
+		}
+	})
+}
+
 // release returns the plan's pooled scratch. The plan must not be used
 // afterwards.
 func (plan *exchangePlan) release() {
 	for w := range plan.spans {
-		putInt32(plan.dests[w])
-		if plan.fans[w] != nil {
+		if plan.dests != nil {
+			putInt32(plan.dests[w])
+		}
+		if plan.hdests != nil && plan.hdests[w] != nil {
+			putByte(plan.hdests[w])
+		}
+		if plan.fans != nil && plan.fans[w] != nil {
 			putInt32(plan.fans[w])
 		}
 		putInt32(plan.counts[w])
@@ -309,7 +410,7 @@ func (plan *exchangePlan) release() {
 			putInt32(plan.bases[w])
 		}
 	}
-	plan.dests, plan.fans, plan.counts, plan.bases = nil, nil, nil, nil
+	plan.dests, plan.hdests, plan.fans, plan.counts, plan.bases = nil, nil, nil, nil, nil
 }
 
 // route ships items to destination servers and charges one round through
@@ -335,7 +436,7 @@ func (d *Dist) routeTasks(schema relation.Schema, rt router, tasks int) *Dist {
 
 	plan := newExchangePlan(d, rt, tasks)
 	plan.alloc(d, out)
-	plan.scatter(d, out)
+	plan.scatter(d, out, rt)
 	c.recordExchange(plan.totals)
 	plan.release()
 	return out

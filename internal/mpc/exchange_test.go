@@ -61,6 +61,26 @@ func exchangeTestDist(c *Cluster, n int, seed uint64) *Dist {
 	return FromRelation(c, r)
 }
 
+// hashPosFor is the key projection the "hash" shape uses for width-w
+// tuples: the first column, or the empty projection for width-0 scalars —
+// non-nil, so router.hashPos still engages the flat fast path and hashes
+// the empty key.
+func hashPosFor(w int) []int {
+	if w == 0 {
+		return []int{}
+	}
+	return []int{0}
+}
+
+// tupleAt reads t[i], treating missing columns as 0: the routing shapes
+// must stay total over every tuple arity the fuzzer generates.
+func tupleAt(t relation.Tuple, i int) int {
+	if i < len(t) {
+		return int(t[i])
+	}
+	return 0
+}
+
 // destFns enumerates every routing shape the algorithms use: single-target
 // hashing, bounded replication, variable fan-out (including zero), full
 // broadcast, and a gather.
@@ -71,20 +91,21 @@ func destFns(p int) map[string]func(s int, it Item) []int {
 	}
 	return map[string]func(s int, it Item) []int{
 		"hash": func(_ int, it Item) []int {
-			return []int{int(Hash64(relation.KeyAt(it.T, []int{0}), 7) % uint64(p))}
+			return []int{int(Hash64(relation.KeyAt(it.T, hashPosFor(len(it.T))), 7) % uint64(p))}
 		},
 		"replicate2": func(_ int, it Item) []int {
-			v := int(it.T[1])
+			v := tupleAt(it.T, 1)
 			return []int{v % p, (v*7 + 1) % p}
 		},
 		"fanout0to2": func(s int, it Item) []int {
-			switch int(it.T[1]) % 3 {
+			v := tupleAt(it.T, 1)
+			switch v % 3 {
 			case 0:
 				return nil
 			case 1:
-				return []int{(s + int(it.T[1])) % p}
+				return []int{(s + v) % p}
 			default:
-				return []int{int(it.T[1]) % p, (s + 1) % p}
+				return []int{v % p, (s + 1) % p}
 			}
 		},
 		"broadcast": func(_ int, _ Item) []int { return all },

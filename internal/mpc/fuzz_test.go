@@ -8,41 +8,61 @@ import (
 )
 
 // FuzzExchangeParity fuzzes the batched columnar exchange against the
-// retained tuple-at-a-time serialRouteRef: random tuple sets (sizes, key
-// skews, annotation presence), every routing shape, and arbitrary task
-// counts must produce value-identical parts and byte-identical per-round
-// charge tables. Run continuously by `make fuzz-smoke` (part of ci).
+// retained tuple-at-a-time serialRouteRef: random tuple sets (sizes, tuple
+// widths, key skews, annotation presence), every routing shape, and
+// arbitrary task counts must produce value-identical parts and
+// byte-identical per-round charge tables. For the hash shape the flat fast
+// path (router.hashPos) additionally runs against the same reference, and
+// every output is pushed through the flat↔per-row conversions in both
+// directions. Run continuously by `make fuzz-smoke` (part of ci).
 func FuzzExchangeParity(f *testing.F) {
 	// Seed corpus from the adversarial-skew cases of the parity tests:
 	// zipf-ish keys, one gathered (fully skewed) source, a heavy-key set,
 	// annotated and unannotated, every shape index, serial and oversized
-	// task counts.
-	f.Add(uint64(11), uint16(2000), uint8(0), uint8(1), uint8(16), false, false)
-	f.Add(uint64(11), uint16(2000), uint8(0), uint8(8), uint8(16), false, false)
-	f.Add(uint64(31), uint16(1500), uint8(1), uint8(4), uint8(16), true, false)
-	f.Add(uint64(23), uint16(997), uint8(2), uint8(3), uint8(7), false, true)
-	f.Add(uint64(5), uint16(64), uint8(3), uint8(2), uint8(4), true, true)
-	f.Add(uint64(7), uint16(0), uint8(4), uint8(5), uint8(3), false, false)
-	f.Add(uint64(42), uint16(300), uint8(4), uint8(33), uint8(1), true, false)
+	// task counts — plus the degenerate tuple widths 0 and 1 and a wide
+	// width 3, where flat row indexing breaks first.
+	f.Add(uint64(11), uint16(2000), uint8(0), uint8(1), uint8(16), uint8(2), false, false)
+	f.Add(uint64(11), uint16(2000), uint8(0), uint8(8), uint8(16), uint8(2), false, false)
+	f.Add(uint64(31), uint16(1500), uint8(1), uint8(4), uint8(16), uint8(2), true, false)
+	f.Add(uint64(23), uint16(997), uint8(2), uint8(3), uint8(7), uint8(2), false, true)
+	f.Add(uint64(5), uint16(64), uint8(3), uint8(2), uint8(4), uint8(2), true, true)
+	f.Add(uint64(7), uint16(0), uint8(4), uint8(5), uint8(3), uint8(2), false, false)
+	f.Add(uint64(42), uint16(300), uint8(4), uint8(33), uint8(1), uint8(2), true, false)
+	f.Add(uint64(13), uint16(800), uint8(0), uint8(4), uint8(8), uint8(0), true, false)  // width-0 scalars
+	f.Add(uint64(17), uint16(900), uint8(1), uint8(3), uint8(8), uint8(1), false, false) // width-1
+	f.Add(uint64(19), uint16(700), uint8(0), uint8(2), uint8(6), uint8(3), true, true)   // width-3, gathered
 
 	shapeNames := []string{"hash", "replicate2", "fanout0to2", "broadcast", "gather"}
 
-	f.Fuzz(func(t *testing.T, seed uint64, n uint16, shape, tasks, p uint8, annotated, gathered bool) {
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, shape, tasks, p, width uint8, annotated, gathered bool) {
 		pp := int(p)%16 + 1
 		nn := int(n) % 4096
 		nTasks := int(tasks)%12 + 1
-		dest := destFns(pp)[shapeNames[int(shape)%len(shapeNames)]]
+		w := int(width) % 4
+		name := shapeNames[int(shape)%len(shapeNames)]
+		dest := destFns(pp)[name]
 
 		build := func() *Dist {
 			c := NewCluster(pp)
-			r := relation.New("R", relation.NewSchema(1, 2))
+			attrs := make([]relation.Attr, w)
+			for j := range attrs {
+				attrs[j] = relation.Attr(j + 1)
+			}
+			r := relation.New("R", relation.NewSchema(attrs...))
 			rng := NewRng(seed)
+			row := make([]relation.Value, w)
 			for i := 0; i < nn; i++ {
-				v := rng.Intn(1 + rng.Intn(1+nn/8))
+				for j := range row {
+					row[j] = relation.Value(i*w + j)
+				}
+				if w > 0 {
+					// Zipf-ish first column: heavy keys stress the batches.
+					row[0] = relation.Value(rng.Intn(1 + rng.Intn(1+nn/8)))
+				}
 				if annotated {
-					r.AddAnnotated(int64(rng.Intn(5)), relation.Value(v), relation.Value(i))
+					r.AddAnnotated(int64(rng.Intn(5)), row...)
 				} else {
-					r.Add(relation.Value(v), relation.Value(i))
+					r.Add(row...)
 				}
 			}
 			d := FromRelation(c, r)
@@ -62,11 +82,54 @@ func FuzzExchangeParity(f *testing.F) {
 		gotTable := roundTable(got.C)
 
 		if !partsEqual(refOut, gotOut) {
-			t.Fatalf("parts differ from serial reference (n=%d p=%d tasks=%d shape=%s)",
-				nn, pp, nTasks, shapeNames[int(shape)%len(shapeNames)])
+			t.Fatalf("parts differ from serial reference (n=%d w=%d p=%d tasks=%d shape=%s)",
+				nn, w, pp, nTasks, name)
 		}
 		if !reflect.DeepEqual(refTable, gotTable) {
 			t.Fatalf("charge tables differ:\nref %v\ngot %v", refTable, gotTable)
+		}
+
+		// The hash shape also has the flat fast path — key positions and
+		// salt in the router instead of a closure, destinations hashed
+		// straight off the flat buffer. Same parts, same charges.
+		if name == "hash" {
+			fast := build()
+			fastOut := fast.routeTasks(fast.Schema, router{hashPos: hashPosFor(w), hashSalt: 7}, nTasks)
+			fastTable := roundTable(fast.C)
+			if !partsEqual(refOut, fastOut) {
+				t.Fatalf("hash fast path parts differ from serial reference (n=%d w=%d p=%d tasks=%d)",
+					nn, w, pp, nTasks)
+			}
+			if !reflect.DeepEqual(refTable, fastTable) {
+				t.Fatalf("hash fast path charge tables differ:\nref %v\ngot %v", refTable, fastTable)
+			}
+		}
+
+		// Conversion roundtrip, flat → per-row → flat: rebuilding every
+		// output part item-at-a-time must reproduce it under Equal.
+		for s := range gotOut.Parts {
+			src := &gotOut.Parts[s]
+			var rebuilt Columns
+			for i := 0; i < src.Len(); i++ {
+				rebuilt.AppendItem(src.Item(i))
+			}
+			if !src.Equal(&rebuilt) || !rebuilt.Equal(src) {
+				t.Fatalf("part %d: flat→per-row→flat roundtrip broke Equal (w=%d)", s, w)
+			}
+		}
+
+		// Conversion roundtrip, per-row → flat: FromRelation's strided flat
+		// placement must match a per-row Append of the same round-robin
+		// distribution.
+		rel := gotOut.ToRelation("roundtrip")
+		c2 := NewCluster(pp)
+		flat := FromRelation(c2, rel)
+		expect := &Dist{C: c2, Schema: rel.Schema, Parts: make([]Columns, pp)}
+		for i := range rel.Tuples {
+			expect.Parts[i%pp].Append(rel.Tuples[i], rel.Annots[i])
+		}
+		if !partsEqual(expect, flat) {
+			t.Fatalf("per-row→flat roundtrip differs from Append reference (n=%d w=%d p=%d)", nn, w, pp)
 		}
 	})
 }

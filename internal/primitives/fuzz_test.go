@@ -9,31 +9,40 @@ import (
 )
 
 // FuzzSampleSortParity fuzzes the columnar rank-vector sample sort against
-// the retained serialSortAndChopRef: random sizes, key ranges, tag mixes,
+// the retained serialSortAndChopRef: random sizes, key ranges, key widths
+// (including the degenerate width 0), mixed tuple arities, tag mixes,
 // partition widths, cluster sizes, and the record pool in both states must
-// produce value-identical chunks and identical cluster charges. Run
-// continuously by `make fuzz-smoke` (part of ci).
+// produce value-identical chunks and identical cluster charges. Sizes reach
+// past sampleSortSerialBelow, so both the serial rank sort and the
+// splitter/partition path are exercised. Run continuously by
+// `make fuzz-smoke` (part of ci).
 func FuzzSampleSortParity(f *testing.F) {
 	// Seed corpus from the adversarial-skew shapes of the parity tests:
 	// one heavy key, zipf-ish skew, few distinct keys across many chunks,
-	// degenerate sizes, pool on and off.
-	f.Add(int64(1), uint16(2000), uint16(1), uint8(2), uint8(16), true)     // one heavy key
-	f.Add(int64(2), uint16(2000), uint16(250), uint8(8), uint8(16), true)   // zipf-ish
-	f.Add(int64(3), uint16(1000), uint16(3), uint8(3), uint8(7), false)     // 3 keys, odd p
-	f.Add(int64(4), uint16(3), uint16(2), uint8(2), uint8(2), true)         // tiny
-	f.Add(int64(5), uint16(0), uint16(1), uint8(1), uint8(4), false)        // empty
-	f.Add(int64(6), uint16(4000), uint16(4000), uint8(33), uint8(16), true) // oversized width
+	// degenerate sizes, pool on and off — plus key widths 0, 2 and 3 and a
+	// size past the serial cutoff so the splitter path runs on multi-value
+	// flat keys.
+	f.Add(int64(1), uint16(2000), uint16(1), uint8(2), uint8(16), uint8(1), true)     // one heavy key
+	f.Add(int64(2), uint16(2000), uint16(250), uint8(8), uint8(16), uint8(1), true)   // zipf-ish
+	f.Add(int64(3), uint16(1000), uint16(3), uint8(3), uint8(7), uint8(1), false)     // 3 keys, odd p
+	f.Add(int64(4), uint16(3), uint16(2), uint8(2), uint8(2), uint8(1), true)         // tiny
+	f.Add(int64(5), uint16(0), uint16(1), uint8(1), uint8(4), uint8(1), false)        // empty
+	f.Add(int64(6), uint16(4000), uint16(4000), uint8(33), uint8(16), uint8(1), true) // oversized width
+	f.Add(int64(7), uint16(900), uint16(40), uint8(4), uint8(8), uint8(0), true)      // width-0 keys: tag-only order
+	f.Add(int64(8), uint16(1200), uint16(80), uint8(5), uint8(9), uint8(3), false)    // width-3 keys
+	f.Add(int64(9), uint16(5000), uint16(200), uint8(8), uint8(16), uint8(2), true)   // past serial cutoff
 
-	f.Fuzz(func(t *testing.T, seed int64, n uint16, keys uint16, width, p uint8, pooled bool) {
-		nn := int(n) % 4096
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, keys uint16, width, p, kw uint8, pooled bool) {
+		nn := int(n) % 8192
 		kk := int(keys)%(nn+1) + 1
 		b := int(width)%16 + 1
 		pp := int(p)%16 + 1
+		kwidth := int(kw) % 4
 
 		rng := rand.New(rand.NewSource(seed))
 		recs := make([]rec, nn)
 		for i := range recs {
-			recs[i] = mkRec(rng.Intn(kk), uint8(rng.Intn(3)), i)
+			recs[i] = mkRecKW(kwidth, rng.Intn(kk), uint8(rng.Intn(3)), i)
 		}
 
 		ref := mpc.NewCluster(pp)
@@ -51,8 +60,8 @@ func FuzzSampleSortParity(f *testing.F) {
 
 		for s := 0; s < pp; s++ {
 			if !reflect.DeepEqual(refChunks[s], colsChunk(rc, bounds, s)) {
-				t.Fatalf("chunk %d differs (n=%d keys=%d b=%d p=%d pool=%v)",
-					s, nn, kk, b, pp, pooled)
+				t.Fatalf("chunk %d differs (n=%d keys=%d kw=%d b=%d p=%d pool=%v)",
+					s, nn, kk, kwidth, b, pp, pooled)
 			}
 		}
 		if !reflect.DeepEqual(refStats, gotStats) {

@@ -25,10 +25,13 @@ type LookupResult struct {
 // the "last seen d entry" flows across chunk boundaries through the
 // coordinator. Load: O((|x|+|d|)/p + p) in O(1) rounds.
 //
-// Records are collected into a pooled columnar set with interned keys: the
-// directory scan's interner doubles as the duplicate-key check, repeated
-// probe keys share one string allocation, and the columns are recycled on
-// return — no per-call []rec rebuild.
+// Records are collected into a pooled columnar set with flat fixed-width
+// keys: building a key copies its values into the key buffer, comparing
+// keys is a word-wise value loop, and the columns are recycled on return —
+// no per-call []rec rebuild and no byte-string interning. Duplicate
+// directory keys surface as adjacent d records in the sorted order (d
+// records sort before x records of the same key), so the boundary scan
+// doubles as the duplicate check.
 //
 //lint:rounds const
 func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr,
@@ -39,35 +42,24 @@ func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr
 	dPos := d.Positions(dKey)
 
 	rc := getRecCols(x.Size() + d.Size())
-	in := getInterner()
-	release := func() {
-		putRecCols(rc)
-		putInterner(in)
-	}
 	for s := range d.Parts {
 		part := &d.Parts[s]
 		for i := 0; i < part.Len(); i++ {
-			t := part.Tuple(i)
-			k, dup := in.intern(t, dPos)
-			if dup {
-				panic(fmt.Sprintf("primitives: Lookup directory has duplicate key %v", relation.DecodeKey(k)))
-			}
-			rc.append(k, 0, t, part.Annot(i))
+			rc.appendKeyed(part.Tuple(i), dPos, 0, part.Annot(i))
 		}
 	}
 	// An empty probe side has an empty result; a trivially-empty sub-query
-	// must not pay the sort and coordinator rounds. Checked only after the
-	// directory scan above, so a malformed directory still panics.
+	// must not pay the sort and coordinator rounds. The duplicate-key check
+	// runs before the early-out, so a malformed directory still panics.
 	if x.Size() == 0 {
-		release()
+		verifyDistinctDirectory(rc)
+		putRecCols(rc)
 		return mpc.NewDist(x.C, outSchema)
 	}
 	for s := range x.Parts {
 		part := &x.Parts[s]
 		for i := 0; i < part.Len(); i++ {
-			t := part.Tuple(i)
-			k, _ := in.intern(t, xPos)
-			rc.append(k, 1, t, part.Annot(i))
+			rc.appendKeyed(part.Tuple(i), xPos, 1, part.Annot(i))
 		}
 	}
 
@@ -75,12 +67,16 @@ func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr
 
 	// Boundary propagation: carry[s] = the row of the latest d record at or
 	// before the start of chunk s (−1: none). One coordinator exchange.
+	// Equal-key d records are adjacent here — the duplicate-directory check.
 	carry := make([]int, x.C.P)
 	last := -1
 	for s := 0; s < x.C.P; s++ {
 		carry[s] = last
 		for i := bounds[s]; i < bounds[s+1]; i++ {
 			if rc.tags[i] == 0 {
+				if last >= 0 && rc.keyEq(last, i) {
+					panic(fmt.Sprintf("primitives: Lookup directory has duplicate key %v", rc.key(i)))
+				}
 				last = i
 			}
 		}
@@ -96,7 +92,7 @@ func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr
 				continue
 			}
 			res := LookupResult{}
-			if cur >= 0 && rc.keys[cur] == rc.keys[i] {
+			if cur >= 0 && rc.keyEq(cur, i) {
 				res = LookupResult{Found: true, DTuple: rc.tuples[cur], DAnnot: rc.annots[cur]}
 			}
 			if it, keep := combine(rc.item(i), res); keep {
@@ -104,8 +100,24 @@ func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr
 			}
 		}
 	}
-	release()
+	putRecCols(rc)
 	return out
+}
+
+// verifyDistinctDirectory panics when the staged directory records carry a
+// duplicate key. Only the empty-probe early-out needs it — the sorted path
+// detects duplicates as adjacent d records for free — so a small map over
+// encoded keys is fine here: the path charges no rounds and is off every
+// hot loop.
+func verifyDistinctDirectory(rc *recCols) {
+	seen := make(map[string]bool, rc.len())
+	for i := 0; i < rc.len(); i++ {
+		k := relation.EncodeValues(rc.key(i)...)
+		if seen[k] {
+			panic(fmt.Sprintf("primitives: Lookup directory has duplicate key %v", rc.key(i)))
+		}
+		seen[k] = true
+	}
 }
 
 // SemiJoin returns the items of x whose key projection matches at least one
@@ -170,43 +182,45 @@ func DistinctByKey(d *mpc.Dist, keyAttrs []relation.Attr) *mpc.Dist {
 	if d.Size() == 0 {
 		return mpc.NewDist(d.C, schema)
 	}
-	// Local dedup first (combiner): at most one record per (server, key).
+	// Local dedup first (combiner): at most one record per (server, key),
+	// tracked with a per-part map over the encoded key built in one shared
+	// scratch buffer (a string is allocated only per locally-distinct key).
 	rc := getRecCols(d.Size())
-	in := getInterner()
+	var buf []byte
 	for s := range d.Parts {
 		part := &d.Parts[s]
 		seen := make(map[string]bool)
 		for i := 0; i < part.Len(); i++ {
 			t := part.Tuple(i)
-			k, _ := in.intern(t, pos)
-			if seen[k] {
+			buf = relation.AppendKeyAt(buf[:0], t, pos)
+			if seen[string(buf)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(buf)] = true
 			proj := make(relation.Tuple, len(pos))
 			for j, p := range pos {
 				proj[j] = t[p]
 			}
-			rc.append(k, 0, proj, part.Annot(i))
+			rc.appendSelfKeyed(proj, 0, part.Annot(i))
 		}
 	}
 	bounds := sortAndChop(d.C, rc)
 	// Cross-chunk dedup: each server drops its first run if the previous
-	// chunk ends with the same key (boundary info via coordinator).
+	// chunk ends with the same key (boundary info via coordinator). Equal
+	// keys are adjacent after the sort, so the previously kept row index is
+	// all the boundary state needed.
 	chargeCoordinatorExchange(d.C)
 	out := mpc.NewDist(d.C, schema)
-	prevLast := ""
-	havePrev := false
+	prev := -1
 	for s := 0; s < d.C.P; s++ {
 		for i := bounds[s]; i < bounds[s+1]; i++ {
-			if havePrev && rc.keys[i] == prevLast {
+			if prev >= 0 && rc.keyEq(prev, i) {
 				continue
 			}
 			out.Parts[s].Append(rc.tuples[i], rc.annots[i])
-			prevLast, havePrev = rc.keys[i], true
+			prev = i
 		}
 	}
 	putRecCols(rc)
-	putInterner(in)
 	return out
 }

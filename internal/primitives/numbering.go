@@ -24,13 +24,10 @@ func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.A
 	}
 
 	rc := getRecCols(d.Size())
-	in := getInterner()
 	for s := range d.Parts {
 		part := &d.Parts[s]
 		for i := 0; i < part.Len(); i++ {
-			t := part.Tuple(i)
-			k, _ := in.intern(t, pos)
-			rc.append(k, 0, t, part.Annot(i))
+			rc.appendKeyed(part.Tuple(i), pos, 0, part.Annot(i))
 		}
 	}
 	bounds := sortAndChop(d.C, rc)
@@ -38,42 +35,43 @@ func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.A
 	// offsets[s] = number of items with the same key as chunk s's first
 	// record that appear in earlier chunks. Computed by the coordinator from
 	// per-chunk (firstKey, lastKey, suffixCount) summaries: O(1) per server.
+	// Keys live in the sorted flat buffer, so the running key is tracked as
+	// a row index, compared word-wise.
 	offsets := make([]int64, d.C.P)
-	runKey, runCount := "", int64(0)
-	haveRun := false
+	runRow, runCount := -1, int64(0)
 	for s := 0; s < d.C.P; s++ {
 		lo, hi := bounds[s], bounds[s+1]
 		if lo == hi {
 			continue
 		}
-		if haveRun && rc.keys[lo] == runKey {
+		if runRow >= 0 && rc.keyEq(lo, runRow) {
 			offsets[s] = runCount
 		}
 		// Update the running suffix count for the chunk's last key.
-		lastKey := rc.keys[hi-1]
+		last := hi - 1
 		var suffix int64
-		for i := hi - 1; i >= lo && rc.keys[i] == lastKey; i-- {
+		for i := hi - 1; i >= lo && rc.keyEq(i, last); i-- {
 			suffix++
 		}
-		allSame := rc.keys[lo] == lastKey && int(suffix) == hi-lo
-		if haveRun && lastKey == runKey && rc.keys[lo] == runKey && allSame {
+		allSame := rc.keyEq(lo, last) && int(suffix) == hi-lo
+		if runRow >= 0 && rc.keyEq(last, runRow) && rc.keyEq(lo, runRow) && allSame {
 			runCount += suffix
 		} else {
-			runKey, runCount = lastKey, suffix
+			runCount = suffix
 		}
-		haveRun = true
+		runRow = last
 	}
 	chargeCoordinatorExchange(d.C)
 
 	out := mpc.NewDist(d.C, outSchema)
 	for s := 0; s < d.C.P; s++ {
-		var curKey string
+		curRow := -1
 		var n int64
 		for i := bounds[s]; i < bounds[s+1]; i++ {
 			if i == bounds[s] {
-				curKey, n = rc.keys[i], offsets[s]
-			} else if rc.keys[i] != curKey {
-				curKey, n = rc.keys[i], 0
+				curRow, n = i, offsets[s]
+			} else if !rc.keyEq(i, curRow) {
+				curRow, n = i, 0
 			}
 			n++
 			src := rc.tuples[i]
@@ -84,6 +82,5 @@ func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.A
 		}
 	}
 	putRecCols(rc)
-	putInterner(in)
 	return out
 }

@@ -400,12 +400,10 @@ func TestSortAndChopBalance(t *testing.T) {
 		}
 	}
 	// Sortedness across chunk boundaries.
-	prev := ""
-	for i := 0; i < rc.len(); i++ {
-		if rc.keys[i] < prev {
+	for i := 1; i < rc.len(); i++ {
+		if rc.keyLess(i, i-1) {
 			t.Fatal("records not globally sorted")
 		}
-		prev = rc.keys[i]
 	}
 	putRecCols(rc)
 }

@@ -8,14 +8,17 @@ import (
 	"repro/internal/relation"
 )
 
-// The columnar record pool. Every skew-sensitive primitive (Lookup,
-// DistinctByKey, MultiNumbering) used to rebuild a fresh []rec slice from
-// its Dist on every call — the dominant allocations BenchmarkSampleSort
-// and BenchmarkLookup reported. The record set is now struct-of-arrays
-// (parallel key/tag/tuple/annot columns) and recycled through a sync.Pool,
-// and the key column is interned per Dist generation: one call-site builds
-// each distinct key string once, repeated keys share the allocation, and
-// repeated calls reuse the column capacity.
+// The columnar record pool, flat-key edition. Every skew-sensitive
+// primitive (Lookup, DistinctByKey, MultiNumbering) collects its records
+// into a pooled struct-of-arrays set (parallel key/tag/tuple/annot
+// columns). Keys are fixed width per call — a projection onto a fixed
+// position list — so the key column is one flat []relation.Value buffer:
+// row i's key is keys[i*kw : (i+1)*kw], compared with a word-wise value
+// loop. This drops the byte-string interning layer entirely: building a
+// key is copying kw values, comparing two keys is at most kw integer
+// compares, and the order is identical to the old encoded-string order
+// because the encoding (8 big-endian bytes of uint64(v)^(1<<63) per
+// value) was order-preserving by construction.
 //
 // Pooling is strictly a memory-reuse layer: every buffer is fully
 // initialized before it is read, so results, cluster charges and table
@@ -24,7 +27,7 @@ import (
 // under -race.
 
 // recordPooling gates every primitives-layer pool (record columns, index
-// scratch, interners). On by default.
+// scratch). On by default.
 var recordPooling atomic.Bool
 
 func init() { recordPooling.Store(true) }
@@ -37,19 +40,64 @@ func SetRecordPooling(on bool) bool { return recordPooling.Swap(on) }
 // RecordPooling reports whether the record pool is active.
 func RecordPooling() bool { return recordPooling.Load() }
 
-// recCols is the columnar record set: parallel key/tag/tuple/annot
-// columns, sorted together by (key, tag) via an index permutation.
+// recCols is the columnar record set: a flat fixed-width key buffer plus
+// parallel tag/tuple/annot columns, sorted together by (key, tag) via an
+// index permutation. kw is the key width in values; it is adopted from the
+// first appended record and every later record must match.
 type recCols struct {
-	keys   []string
+	kw     int
+	keys   []relation.Value
 	tags   []uint8
 	tuples []relation.Tuple
 	annots []int64
 }
 
-func (rc *recCols) len() int { return len(rc.keys) }
+func (rc *recCols) len() int { return len(rc.tags) }
 
+// adoptKeyWidth fixes the key width from the first record.
+func (rc *recCols) adoptKeyWidth(kw int) {
+	if len(rc.tags) == 0 {
+		rc.kw = kw
+		rc.keys = rc.keys[:0]
+		return
+	}
+	if kw != rc.kw {
+		panic("primitives: mixed key widths in one record set")
+	}
+}
+
+// appendKeyed adds one record whose key is t's projection onto pos.
+func (rc *recCols) appendKeyed(t relation.Tuple, pos []int, tag uint8, a int64) {
+	rc.adoptKeyWidth(len(pos))
+	for _, p := range pos {
+		rc.keys = append(rc.keys, t[p])
+	}
+	rc.tags = append(rc.tags, tag)
+	rc.tuples = append(rc.tuples, t)
+	rc.annots = append(rc.annots, a)
+}
+
+// appendSelfKeyed adds one record whose key is the whole tuple (the
+// DistinctByKey projection case: the kept tuple IS the key).
+func (rc *recCols) appendSelfKeyed(t relation.Tuple, tag uint8, a int64) {
+	rc.adoptKeyWidth(len(t))
+	rc.keys = append(rc.keys, t...)
+	rc.tags = append(rc.tags, tag)
+	rc.tuples = append(rc.tuples, t)
+	rc.annots = append(rc.annots, a)
+}
+
+// append adds one record from an encoded key string — the bridge the
+// serial reference path and the tests use to stage records from the
+// array-of-structs rec view. The key decodes to exactly the value window
+// appendKeyed would have written (the encoding is order- and
+// value-preserving).
 func (rc *recCols) append(key string, tag uint8, t relation.Tuple, a int64) {
-	rc.keys = append(rc.keys, key)
+	if len(key)%8 != 0 {
+		panic("primitives: malformed record key")
+	}
+	rc.adoptKeyWidth(len(key) / 8)
+	rc.keys = relation.AppendDecodedKey(rc.keys, key)
 	rc.tags = append(rc.tags, tag)
 	rc.tuples = append(rc.tuples, t)
 	rc.annots = append(rc.annots, a)
@@ -58,20 +106,55 @@ func (rc *recCols) append(key string, tag uint8, t relation.Tuple, a int64) {
 // item assembles row i for callbacks that take items.
 func (rc *recCols) item(i int) mpc.Item { return mpc.Item{T: rc.tuples[i], A: rc.annots[i]} }
 
+// key returns row i's key window in the flat buffer.
+func (rc *recCols) key(i int) []relation.Value {
+	kw := rc.kw
+	return rc.keys[i*kw : i*kw+kw]
+}
+
+// keyLess compares the keys of rows i and j word-wise — identical order to
+// the old encoded-string comparison.
+func (rc *recCols) keyLess(i, j int) bool {
+	kw := rc.kw
+	a, b := i*kw, j*kw
+	for k := 0; k < kw; k++ {
+		if rc.keys[a+k] != rc.keys[b+k] {
+			return rc.keys[a+k] < rc.keys[b+k]
+		}
+	}
+	return false
+}
+
+// keyEq reports whether rows i and j share a key.
+func (rc *recCols) keyEq(i, j int) bool {
+	kw := rc.kw
+	a, b := i*kw, j*kw
+	for k := 0; k < kw; k++ {
+		if rc.keys[a+k] != rc.keys[b+k] {
+			return false
+		}
+	}
+	return true
+}
+
 // less is THE record order of every skew-sensitive primitive — by key,
 // ties broken by tag (recLess on columns). The serial reference and the
 // parallel sample sort must agree on it exactly.
 func (rc *recCols) less(i, j int32) bool {
-	if rc.keys[i] != rc.keys[j] {
-		return rc.keys[i] < rc.keys[j]
+	kw := rc.kw
+	a, b := int(i)*kw, int(j)*kw
+	for k := 0; k < kw; k++ {
+		if rc.keys[a+k] != rc.keys[b+k] {
+			return rc.keys[a+k] < rc.keys[b+k]
+		}
 	}
 	return rc.tags[i] < rc.tags[j]
 }
 
-// reset truncates the columns, clearing the pointer-bearing ones so pooled
-// capacity does not retain tuples or key strings.
+// reset truncates the columns, clearing the pointer-bearing tuple column
+// so pooled capacity does not retain tuples (the key column carries plain
+// values — stale contents are unreachable and pointer-free).
 func (rc *recCols) reset() {
-	clear(rc.keys[:cap(rc.keys)])
 	clear(rc.tuples[:cap(rc.tuples)])
 	rc.keys = rc.keys[:0]
 	rc.tags = rc.tags[:0]
@@ -86,14 +169,14 @@ func getRecCols(capacity int) *recCols {
 	if RecordPooling() {
 		if v := recColsPool.Get(); v != nil {
 			rc := v.(*recCols)
-			if cap(rc.keys) >= capacity {
+			if cap(rc.tags) >= capacity {
 				return rc
 			}
 			// Too small for this call site: grow once, keep the grown set.
 		}
 	}
 	return &recCols{
-		keys:   make([]string, 0, capacity),
+		keys:   make([]relation.Value, 0, capacity),
 		tags:   make([]uint8, 0, capacity),
 		tuples: make([]relation.Tuple, 0, capacity),
 		annots: make([]int64, 0, capacity),
@@ -122,7 +205,7 @@ type sortScratch struct {
 	ranges  []int32
 	perTask [][]int32 // per task: range counters, then reused as write cursors
 	bases   [][]int32 // per task: first write offset per range
-	keys    []string
+	keys    []relation.Value
 	tags    []uint8
 	tuples  []relation.Tuple
 	annots  []int64
@@ -163,50 +246,9 @@ func putSortScratch(sc *sortScratch) {
 	if !RecordPooling() {
 		return
 	}
-	// The permute swap leaves the pre-sort key/tuple columns here; clear
-	// them so the pool never retains a past dataset's strings or tuples.
-	clear(sc.keys[:cap(sc.keys)])
+	// The permute swap leaves the pre-sort tuple column here; clear it so
+	// the pool never retains a past dataset's tuples (the key column is
+	// pointer-free and needs no clearing).
 	clear(sc.tuples[:cap(sc.tuples)])
 	sortScratchPool.Put(sc)
-}
-
-// interner builds key strings in a reusable buffer and deduplicates them
-// per Dist generation: one allocation per distinct key per primitive call,
-// and the resulting shared pointers make equal-key comparisons in the sort
-// short-circuit.
-type interner struct {
-	buf []byte
-	m   map[string]string
-}
-
-// intern returns the canonical string for t's projection onto pos and
-// whether the key was already present (Lookup uses this to detect
-// duplicate directory keys without a second map).
-func (in *interner) intern(t relation.Tuple, pos []int) (string, bool) {
-	in.buf = relation.AppendKeyAt(in.buf[:0], t, pos)
-	if s, ok := in.m[string(in.buf)]; ok {
-		return s, true
-	}
-	s := string(in.buf)
-	in.m[s] = s
-	return s, false
-}
-
-var internerPool sync.Pool
-
-func getInterner() *interner {
-	if RecordPooling() {
-		if v := internerPool.Get(); v != nil {
-			return v.(*interner)
-		}
-	}
-	return &interner{m: make(map[string]string)}
-}
-
-func putInterner(in *interner) {
-	if !RecordPooling() {
-		return
-	}
-	clear(in.m)
-	internerPool.Put(in)
 }

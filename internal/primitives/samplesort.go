@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/mpc"
+	"repro/internal/relation"
 	"repro/internal/runtime"
 )
 
@@ -21,13 +22,15 @@ import (
 //  1. Splitters. A deterministic stride sample of the keys is sorted and
 //     cut at regular positions into b−1 splitters (b = data-plane width),
 //     oversampled so skewed key distributions still yield balanced ranges.
+//     Splitters live in one flat fixed-width value buffer, like the keys.
 //  2. Partition. The rank vector is cut into b contiguous segments; each
-//     forked task classifies its segment's rows into key ranges
-//     (sort.SearchStrings over the splitters — a pure function of the key,
-//     so every occurrence of a key lands in the same range) and counts per
-//     (segment, range). Prefix sums in (range, segment) order then give
-//     every task a disjoint write window per range, and a second forked
-//     pass scatters the indices — lock-free, one pooled buffer.
+//     forked task classifies its segment's rows into key ranges (a binary
+//     search over the flat splitter buffer with word-wise key compares —
+//     a pure function of the key, so every occurrence of a key lands in
+//     the same range) and counts per (segment, range). Prefix sums in
+//     (range, segment) order then give every task a disjoint write window
+//     per range, and a second forked pass scatters the indices —
+//     lock-free, one pooled buffer.
 //  3. Sort. Each range's index window is stable-sorted concurrently;
 //     ranges are contiguous and ordered, so the concatenated rank vector
 //     is the globally sorted permutation, applied once per column.
@@ -88,8 +91,8 @@ func sampleSortCols(rc *recCols, b int) {
 		return
 	}
 
-	splitters := sampleSplitters(rc.keys, b)
-	nr := len(splitters) + 1
+	splitters, nsp := sampleSplitters(rc, b)
+	nr := nsp + 1
 
 	// Segment bounds: b contiguous segments in input order.
 	segLo := func(t int) int { return t * n / b }
@@ -104,7 +107,7 @@ func sampleSortCols(rc *recCols, b int) {
 			cnt[i] = 0
 		}
 		for i := segLo(t); i < segLo(t+1); i++ {
-			r := int32(sort.SearchStrings(splitters, rc.keys[i]))
+			r := searchSplitters(splitters, nsp, rc, i)
 			ranges[i] = r
 			cnt[r]++
 		}
@@ -162,15 +165,26 @@ func sampleSortCols(rc *recCols, b int) {
 //lint:alloc-ceiling
 func permuteCols(rc *recCols, sc *sortScratch, order []int32) {
 	n := len(order)
-	ks := ensureSlice(sc.keys, n)
+	kw := rc.kw
+	ks := ensureSlice(sc.keys, n*kw)
 	ts := ensureSlice(sc.tags, n)
 	tp := ensureSlice(sc.tuples, n)
 	as := ensureSlice(sc.annots, n)
 	for j, i := range order {
-		ks[j] = rc.keys[i]
 		ts[j] = rc.tags[i]
 		tp[j] = rc.tuples[i]
 		as[j] = rc.annots[i]
+	}
+	switch kw {
+	case 0:
+	case 1:
+		for j, i := range order {
+			ks[j] = rc.keys[i]
+		}
+	default:
+		for j, i := range order {
+			copy(ks[j*kw:j*kw+kw], rc.keys[int(i)*kw:int(i)*kw+kw])
+		}
 	}
 	sc.keys, rc.keys = rc.keys[:0], ks
 	sc.tags, rc.tags = rc.tags[:0], ts
@@ -258,26 +272,78 @@ func mergeIdx(rc *recCols, dst, a, b []int32) {
 // sampleSplitters returns at most b−1 sorted splitter keys cutting the key
 // space into b near-equal ranges: a deterministic stride sample (no RNG,
 // no seed — the same keys always yield the same splitters), sorted and
-// cut at regular positions. Duplicate splitters are collapsed; the ranges
-// they would bound are empty anyway.
-func sampleSplitters(keys []string, b int) []string {
-	n := len(keys)
+// cut at regular positions. The splitters come back as one flat
+// fixed-width value buffer (rc.kw values per splitter) plus the splitter
+// count. Duplicate splitters are collapsed; the ranges they would bound
+// are empty anyway.
+func sampleSplitters(rc *recCols, b int) ([]relation.Value, int) {
+	n := rc.len()
+	kw := rc.kw
 	want := b * splitterOversample
 	stride := n / want
 	if stride < 1 {
 		stride = 1
 	}
-	sample := make([]string, 0, want+1)
+	sample := make([]int32, 0, want+1)
 	for i := 0; i < n; i += stride {
-		sample = append(sample, keys[i])
+		sample = append(sample, int32(i))
 	}
-	sort.Strings(sample)
-	splitters := make([]string, 0, b-1)
+	// Rows with equal keys are interchangeable under this order, so the
+	// unstable sort still cuts deterministic splitter values.
+	sort.Slice(sample, func(x, y int) bool {
+		return rc.keyLess(int(sample[x]), int(sample[y]))
+	})
+	flat := make([]relation.Value, 0, (b-1)*kw)
+	nsp := 0
 	for i := 1; i < b; i++ {
-		s := sample[i*len(sample)/b]
-		if len(splitters) == 0 || s != splitters[len(splitters)-1] {
-			splitters = append(splitters, s)
+		row := int(sample[i*len(sample)/b])
+		key := rc.key(row)
+		if nsp > 0 && keyWindowEqual(flat[(nsp-1)*kw:nsp*kw], key) {
+			continue
+		}
+		flat = append(flat, key...)
+		nsp++
+	}
+	return flat, nsp
+}
+
+// searchSplitters returns the range index of row i: the number of
+// splitters strictly less than the row's key — the flat-buffer equivalent
+// of sort.SearchStrings over encoded keys (identical order, word-wise
+// compares).
+func searchSplitters(spl []relation.Value, nsp int, rc *recCols, i int) int32 {
+	kw := rc.kw
+	key := rc.keys[i*kw : i*kw+kw]
+	lo, hi := 0, nsp
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keyWindowLess(spl[mid*kw:mid*kw+kw], key) {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return splitters
+	return int32(lo)
+}
+
+// keyWindowLess is the strict lexicographic order on equal-width key
+// windows — the same order the byte-string encoding produced.
+func keyWindowLess(a, b []relation.Value) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// keyWindowEqual reports whether two equal-width key windows hold the same
+// values.
+func keyWindowEqual(a, b []relation.Value) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
 }

@@ -28,6 +28,24 @@ func mkRec(key int, tag uint8, i int) rec {
 	}
 }
 
+// mkRecKW builds a record with a kw-value key derived from key and a tuple
+// whose arity varies with i: the primitives mix directory and probe tuples
+// of different arities in one record set, with only the key width fixed.
+// kw=0 makes every key the empty window (the degenerate width where flat
+// key indexing breaks first); the payload still carries i so chunk equality
+// proves stability.
+func mkRecKW(kw, key int, tag uint8, i int) rec {
+	kv := make([]relation.Value, kw)
+	for j := range kv {
+		kv[j] = relation.Value(key >> uint(2*j))
+	}
+	t := make(relation.Tuple, 1+i%3)
+	for j := range t {
+		t[j] = relation.Value(i + j)
+	}
+	return rec{key: relation.EncodeValues(kv...), tag: tag, it: mpc.Item{T: t, A: int64(i)}}
+}
+
 // sortInputs covers the skew shapes the primitives meet: uniform keys,
 // one heavy key spanning every chunk, zipf-ish skew with a directory-side
 // tag mix, pre-sorted and reverse-sorted runs, and degenerate sizes.
@@ -89,14 +107,15 @@ func fillRecCols(rc *recCols, recs []rec) {
 }
 
 // colsChunk extracts chunk s of a sorted columnar set as []rec for
-// comparison against the serial reference's chunks.
+// comparison against the serial reference's chunks, re-encoding the flat
+// key windows into the reference's key strings.
 func colsChunk(rc *recCols, bounds []int, s int) []rec {
 	if bounds[s] == bounds[s+1] {
 		return nil
 	}
 	out := make([]rec, 0, bounds[s+1]-bounds[s])
 	for i := bounds[s]; i < bounds[s+1]; i++ {
-		out = append(out, rec{key: rc.keys[i], tag: rc.tags[i], it: rc.item(i)})
+		out = append(out, rec{key: relation.EncodeValues(rc.key(i)...), tag: rc.tags[i], it: rc.item(i)})
 	}
 	return out
 }
@@ -169,7 +188,7 @@ func TestSampleSortPropertyRandomShapes(t *testing.T) {
 
 		got := make([]rec, rc.len())
 		for i := range got {
-			got[i] = rec{key: rc.keys[i], tag: rc.tags[i], it: rc.item(i)}
+			got[i] = rec{key: relation.EncodeValues(rc.key(i)...), tag: rc.tags[i], it: rc.item(i)}
 		}
 		putRecCols(rc)
 		if !reflect.DeepEqual(got, want) {
@@ -184,21 +203,28 @@ func TestSampleSortPropertyRandomShapes(t *testing.T) {
 func TestSampleSplittersAreSortedAndDistinct(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for _, keys := range []int{1, 2, 100, 1 << 14} {
-		ks := make([]string, 1<<14)
-		for i := range ks {
-			ks[i] = mkRec(rng.Intn(keys), 0, i).key
+		rc := getRecCols(1 << 14)
+		for i := 0; i < 1<<14; i++ {
+			r := mkRec(rng.Intn(keys), 0, i)
+			rc.append(r.key, r.tag, r.it.T, r.it.A)
 		}
 		for _, b := range []int{2, 3, 8, 32} {
-			sp := sampleSplitters(ks, b)
-			if len(sp) >= b {
-				t.Fatalf("keys=%d b=%d: %d splitters", keys, b, len(sp))
+			sp, nsp := sampleSplitters(rc, b)
+			if nsp >= b {
+				t.Fatalf("keys=%d b=%d: %d splitters", keys, b, nsp)
 			}
-			for i := 1; i < len(sp); i++ {
-				if sp[i] <= sp[i-1] {
-					t.Fatalf("keys=%d b=%d: splitters not sorted-distinct: %q", keys, b, sp)
+			if len(sp) != nsp*rc.kw {
+				t.Fatalf("keys=%d b=%d: flat buffer holds %d values for %d splitters of width %d",
+					keys, b, len(sp), nsp, rc.kw)
+			}
+			for i := 1; i < nsp; i++ {
+				prev, cur := sp[(i-1)*rc.kw:i*rc.kw], sp[i*rc.kw:(i+1)*rc.kw]
+				if !keyWindowLess(prev, cur) {
+					t.Fatalf("keys=%d b=%d: splitters not sorted-distinct: %v", keys, b, sp)
 				}
 			}
 		}
+		putRecCols(rc)
 	}
 }
 
