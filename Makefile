@@ -27,8 +27,8 @@ FUZZTIME ?= 10s
 # threshold because trajectory files come from whatever machine ran `make
 # bench` — it must absorb machine drift while still catching a lost
 # optimization.
-BENCH_JSON ?= BENCH_8.json
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_JSON ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_8.json
 GATE ?= 25
 
 .PHONY: ci fmt vet build test race smoke bench bench-all bench-compare bench-smoke bench-verify fuzz-smoke cover lint lint-fix-list tidy-check contracts contracts-verify experiments

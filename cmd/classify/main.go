@@ -12,12 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/hypergraph"
+	"repro/internal/lint"
 	"repro/internal/relation"
 )
 
@@ -39,6 +41,44 @@ func main() {
 		os.Exit(1)
 	}
 	describe(q)
+}
+
+// printStaticClasses runs the whole-program round and load classifiers
+// over the module source and prints the static classes of the dispatched
+// algorithm's run body next to its declared ones. Outside a checkout (no
+// go.mod above the working directory) the line is silently skipped — the
+// declared classes above are still the repolint-verified contract.
+func printStaticClasses(name string) {
+	root, ok := moduleRoot()
+	if !ok {
+		return
+	}
+	classes, err := lint.StaticClasses(root)
+	if err != nil {
+		return
+	}
+	if c, ok := classes[name]; ok {
+		fmt.Printf("static classes: rounds %s, load %s (whole-program repolint classifiers)\n",
+			c.Rounds, c.Load)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, bool) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", false
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, true
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", false
+		}
+		dir = parent
+	}
 }
 
 func parseQuery(s string) (*hypergraph.Hypergraph, error) {
@@ -72,7 +112,9 @@ func describe(q *hypergraph.Hypergraph) {
 	cls := q.Classify()
 	fmt.Printf("class: %s\n", cls)
 	if a, err := engine.Auto(q); err == nil {
-		fmt.Printf("engine dispatch: %s (bound %s)\n", a.Name(), engine.BoundOf(a))
+		fmt.Printf("engine dispatch: %s (bound %s; declared rounds %s, load %s)\n",
+			a.Name(), engine.BoundOf(a), engine.RoundClassOf(a), engine.LoadClassOf(a))
+		printStaticClasses(a.Name())
 	}
 	if cls == hypergraph.Cyclic {
 		fmt.Println("join tree: none (cyclic)")

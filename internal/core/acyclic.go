@@ -32,6 +32,7 @@ import (
 // which is the whole point: Section 4.1 shows no single join order achieves
 // this, but the degree decomposition always does.
 //
+//lint:load frac
 //lint:rounds const
 func AcyclicJoin(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if !in.Q.IsAcyclic() {
@@ -55,6 +56,7 @@ func AcyclicJoin(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc
 // size of the ORIGINAL query (intermediate bounds only need an upper bound).
 //
 //lint:rounds const trust self-recursion bounded by the query's join-tree depth; each level charges a fixed round schedule
+//lint:load frac trust Theorem 6: intermediates are bounded by sqrt(IN*OUT/p) per server at every level
 func acyclicRec(c *mpc.Cluster, edges []hypergraph.AttrSet, dists []*mpc.Dist,
 	ring relation.Semiring, out int64, seed uint64, depth int) *mpc.Dist {
 

@@ -32,6 +32,7 @@ type AggregateResult struct {
 // LinearAggro eliminates the non-output attributes of the free-connex
 // query (in.Q, y). It panics if the query is not free-connex.
 //
+//lint:load perP
 //lint:rounds const
 func LinearAggro(c *mpc.Cluster, in *Instance, y hypergraph.AttrSet, seed uint64) AggregateResult {
 	w := hypergraph.WithOutput{Q: in.Q, Y: y}
@@ -142,6 +143,7 @@ func scalarOf(d *mpc.Dist, ring relation.Semiring) int64 {
 // linear load (Corollary 4): LinearAggro under the count ring with y = ∅.
 // This is the MPC primitive the output-optimal algorithms start with.
 //
+//lint:load perP
 //lint:rounds const
 func CountOutput(c *mpc.Cluster, in *Instance, seed uint64) int64 {
 	counted := &Instance{Q: in.Q, Rels: in.Rels, Ring: relation.CountRing}
@@ -153,6 +155,7 @@ func CountOutput(c *mpc.Cluster, in *Instance, seed uint64) int64 {
 // annotations forced to 1 so it counts tuples regardless of the semiring
 // the caller runs under.
 //
+//lint:load perP
 //lint:rounds const
 func CountOutputDists(q *hypergraph.Hypergraph, dists []*mpc.Dist, seed uint64) int64 {
 	ones := make([]*mpc.Dist, len(dists))
@@ -170,6 +173,7 @@ func CountOutputDists(q *hypergraph.Hypergraph, dists []*mpc.Dist, seed uint64) 
 // (Theorem 9). The result is distributed over y's schema; em, when non-nil,
 // observes every output tuple with its aggregate annotation.
 //
+//lint:load frac trust dispatches to RHier/BinaryJoin for the join phase; the aggregation passes themselves stay at IN/p
 //lint:rounds const
 func Aggregate(c *mpc.Cluster, in *Instance, y hypergraph.AttrSet, seed uint64, em mpc.Emitter) *mpc.Dist {
 	res := LinearAggro(c, in, y, seed)

@@ -28,6 +28,7 @@ const (
 // output by ~OUT/p; light keys are hashed. The result stays distributed on
 // the servers that produced it; em (optional) observes every result tuple.
 //
+//lint:load frac trust Theorem 5: degree-threshold grids cap each server at IN/p + sqrt(IN*OUT/p)
 //lint:rounds const
 func BinaryJoin(a, b *mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emitter) *mpc.Dist {
 	c := a.C
@@ -239,6 +240,8 @@ func buildGrid(jd *mpc.Dist, shared relation.Schema, l0, out int64, p int) map[s
 
 // chargeDirectory charges gathering n directory entries to the coordinator
 // and broadcasting them to every server.
+//
+//lint:load const trust callers pass O(p) directory entries, set by degree thresholds, not by the data
 func chargeDirectory(c *mpc.Cluster, n int) {
 	if n == 0 {
 		return

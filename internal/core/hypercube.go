@@ -17,6 +17,7 @@ import (
 // the relation sizes. Implemented as the keyed multiway join with an empty
 // key, whose allocator chooses exactly those dimensions.
 //
+//lint:load frac trust eq. (1): per-relation grid dimensions adapt to the sizes, attaining L_cartesian up to polylog factors
 //lint:rounds const
 func HyperCubeProduct(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if !IsProductQuery(in.Q) {

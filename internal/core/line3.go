@@ -25,6 +25,7 @@ import (
 // (Section 4.1) and that decomposing by degree always yields a good order
 // for each part.
 //
+//lint:load frac
 //lint:rounds const
 func Line3(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	return Line3WithTau(c, in, 0, seed, em)
@@ -34,6 +35,7 @@ func Line3(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist 
 // threshold τ (tau ≤ 0 selects the paper's balanced τ = √(OUT/IN)). The τ
 // ablation sweeps this to show the balance point of equations (4) and (5).
 //
+//lint:load frac
 //lint:rounds const
 func Line3WithTau(c *mpc.Cluster, in *Instance, tauOverride int64, seed uint64, em mpc.Emitter) *mpc.Dist {
 	b, _ := line3Attrs(in)

@@ -23,6 +23,7 @@ import (
 // lower-bound instances (Figure 4), where the plain grid already attains
 // the bound. Skewed workloads should use Line3/AcyclicJoin instead.
 //
+//lint:load frac trust Section 4.3: the sqrt(p) x sqrt(p) grid replicates each endpoint relation sqrt(p)-fold, IN/sqrt(p) per server
 //lint:rounds const
 func Line3WorstCase(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	b, cAttr := line3Attrs(in)

@@ -22,6 +22,7 @@ import (
 // (|Q(R,S)|/p)^{1/|S|}. Each such key gets a ⌈d_1/L⌉ × … × ⌈d_m/L⌉
 // hypercube of servers; light keys are hashed.
 //
+//lint:load frac trust the per-key hypercubes target the instance-optimal L of bound (2); light keys stay at IN/p
 //lint:rounds const
 func MultiwayKeyedJoin(key relation.Schema, dists []*mpc.Dist, ring relation.Semiring, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if len(dists) == 0 {

@@ -51,6 +51,7 @@ func degreeSizer(rels []*relation.Relation) int64 {
 
 // RHier computes an r-hierarchical join with load O(IN/p + L_instance).
 //
+//lint:load frac trust Theorem 9: the residue-class grid and recursion keep every server at IN/p + L_instance(p,R)
 //lint:rounds const
 func RHier(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if !in.Q.IsRHierarchical() {
@@ -82,6 +83,7 @@ func RHier(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist 
 // degree-based shares, which is exactly the one-round barrier the paper
 // describes.
 //
+//lint:load frac trust Section 5.1: degree-based sharing caps each server at the Table 1 instance bound
 //lint:rounds const
 func BinHC(c *mpc.Cluster, in *Instance, seed uint64, removeDangling bool, em mpc.Emitter) *mpc.Dist {
 	if !in.Q.IsRHierarchical() {
@@ -377,6 +379,7 @@ func serversFor(rels []*relation.Relation, fixed hypergraph.AttrSet, l int64, si
 // planServers dry-runs the recursion and returns the total number of leaf
 // servers the allocation would use at load target l.
 //
+//lint:load zero
 //lint:rounds zero
 func planServers(rels []*relation.Relation, fixed hypergraph.AttrSet, l int64, size sizer) int {
 	active, _ := splitScalars(rels, fixed)

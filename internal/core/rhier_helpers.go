@@ -21,6 +21,8 @@ func materialize(dists []*mpc.Dist) []*relation.Relation {
 
 // chargeLinear charges one linear-load statistics round: n tuples spread
 // over the cluster (degree counting, sum-by-key passes and the like).
+//
+//lint:load perP
 func chargeLinear(c *mpc.Cluster, n int) {
 	loads := make([]int, c.P)
 	per := n / c.P

@@ -20,6 +20,7 @@ import (
 // leaves open; the harness plots the measured load against both branches of
 // the Ω̃(min{IN/p + OUT/p, IN/p^{2/3}}) bound.)
 //
+//lint:load frac trust Section 7: cube replication copies each relation p^(1/3)-fold, IN/p^(2/3) per server on skew-free inputs
 //lint:rounds const
 func Triangle(c *mpc.Cluster, in *Instance, seed uint64, em mpc.Emitter) *mpc.Dist {
 	a, b, cc := triangleAttrs(in)

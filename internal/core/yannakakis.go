@@ -12,6 +12,8 @@ import (
 
 // LoadInstance distributes every relation of the instance over the cluster
 // (the model's initial state, charged as round 0).
+//
+//lint:load perP
 func LoadInstance(c *mpc.Cluster, in *Instance) []*mpc.Dist {
 	dists := make([]*mpc.Dist, len(in.Rels))
 	for i, r := range in.Rels {
@@ -25,6 +27,7 @@ func LoadInstance(c *mpc.Cluster, in *Instance) []*mpc.Dist {
 // linear load. It panics on cyclic queries. Fully deterministic: the
 // semi-joins sort, they do not hash, so no seed is taken.
 //
+//lint:load perP
 //lint:rounds const
 func FullReduce(in *Instance, dists []*mpc.Dist) []*mpc.Dist {
 	tree, ok := in.Q.GYO()
@@ -86,6 +89,7 @@ func DefaultJoinOrder(q *hypergraph.Hypergraph) []int {
 // intermediate sizes — and hence the inputs of later binary joins — can
 // reach Θ(OUT). Section 4.1 shows this is inherent for fixed orders.
 //
+//lint:load perP trust after the full reduction every intermediate is output-bounded (Cor. 8): IN/p + OUT/p per join step
 //lint:rounds const
 func Yannakakis(c *mpc.Cluster, in *Instance, order []int, seed uint64, em mpc.Emitter) *mpc.Dist {
 	if order == nil {

@@ -18,6 +18,11 @@ type adapter struct {
 	// stays within it, and the harness checks observed Result.Rounds
 	// against it across the experiment matrix.
 	rounds string
+	// load is the machine-checkable load class (perP, frac, or linear):
+	// the repoload analyzer verifies the run body's static load class
+	// stays within it and the bound prose claims nothing stronger, and
+	// the harness checks observed Result.Load scaling against it.
+	load string
 	// fullJoin marks algorithms whose emissions are the full join result,
 	// i.e. whose OUT the naive oracle can verify. Scalar algorithms (count)
 	// and aggregates emit different cardinalities.
@@ -32,6 +37,7 @@ type adapter struct {
 func (a *adapter) Name() string                          { return a.name }
 func (a *adapter) Bound() string                         { return a.bound }
 func (a *adapter) RoundClass() string                    { return a.rounds }
+func (a *adapter) LoadClass() string                     { return a.load }
 func (a *adapter) FullJoin() bool                        { return a.fullJoin }
 func (a *adapter) Oracle() bool                          { return a.oracle }
 func (a *adapter) Applies(q *hypergraph.Hypergraph) bool { return a.applies(q) }
@@ -55,63 +61,63 @@ func anyQuery(*hypergraph.Hypergraph) bool { return true }
 
 func init() {
 	Register(&adapter{
-		name: "yannakakis", bound: "IN/p + OUT/p", rounds: "const", fullJoin: true,
+		name: "yannakakis", bound: "IN/p + OUT/p", load: "perP", rounds: "const", fullJoin: true,
 		applies: (*hypergraph.Hypergraph).IsAcyclic,
 		run: func(job Job) (*mpc.Dist, error) {
 			return core.Yannakakis(job.Cluster, job.In, job.Order, job.Seed, job.Emitter), nil
 		},
 	})
 	Register(&adapter{
-		name: "acyclic", bound: "IN/p + √(IN·OUT/p)", rounds: "const", fullJoin: true,
+		name: "acyclic", bound: "IN/p + √(IN·OUT/p)", load: "frac", rounds: "const", fullJoin: true,
 		applies: (*hypergraph.Hypergraph).IsAcyclic,
 		run: func(job Job) (*mpc.Dist, error) {
 			return core.AcyclicJoin(job.Cluster, job.In, job.Seed, job.Emitter), nil
 		},
 	})
 	Register(&adapter{
-		name: "line3", bound: "IN/p + √(IN·OUT/p)", rounds: "const", fullJoin: true,
+		name: "line3", bound: "IN/p + √(IN·OUT/p)", load: "frac", rounds: "const", fullJoin: true,
 		applies: core.IsLine3Query,
 		run: func(job Job) (*mpc.Dist, error) {
 			return core.Line3WithTau(job.Cluster, job.In, job.Tau, job.Seed, job.Emitter), nil
 		},
 	})
 	Register(&adapter{
-		name: "line3wc", bound: "IN/√p (worst-case)", rounds: "const", fullJoin: true,
+		name: "line3wc", bound: "IN/√p (worst-case)", load: "frac", rounds: "const", fullJoin: true,
 		applies: core.IsLine3Query,
 		run: func(job Job) (*mpc.Dist, error) {
 			return core.Line3WorstCase(job.Cluster, job.In, job.Seed, job.Emitter), nil
 		},
 	})
 	Register(&adapter{
-		name: "rhier", bound: "IN/p + L_instance(p,R)", rounds: "const", fullJoin: true,
+		name: "rhier", bound: "IN/p + L_instance(p,R)", load: "frac", rounds: "const", fullJoin: true,
 		applies: isRHier,
 		run: func(job Job) (*mpc.Dist, error) {
 			return core.RHier(job.Cluster, job.In, job.Seed, job.Emitter), nil
 		},
 	})
 	Register(&adapter{
-		name: "binhc", bound: "IN/p + degree shares (Table 1)", rounds: "const", fullJoin: true,
+		name: "binhc", bound: "IN/p + degree shares (Table 1)", load: "frac", rounds: "const", fullJoin: true,
 		applies: isRHier,
 		run: func(job Job) (*mpc.Dist, error) {
 			return core.BinHC(job.Cluster, job.In, job.Seed, job.Reduce, job.Emitter), nil
 		},
 	})
 	Register(&adapter{
-		name: "hypercube", bound: "L_cartesian(p,R) (eq. 1)", rounds: "const", fullJoin: true,
+		name: "hypercube", bound: "L_cartesian(p,R) (eq. 1)", load: "frac", rounds: "const", fullJoin: true,
 		applies: core.IsProductQuery,
 		run: func(job Job) (*mpc.Dist, error) {
 			return core.HyperCubeProduct(job.Cluster, job.In, job.Seed, job.Emitter), nil
 		},
 	})
 	Register(&adapter{
-		name: "triangle", bound: "IN/p^(2/3)", rounds: "const", fullJoin: true,
+		name: "triangle", bound: "IN/p^(2/3)", load: "frac", rounds: "const", fullJoin: true,
 		applies: core.IsTriangleQuery,
 		run: func(job Job) (*mpc.Dist, error) {
 			return core.Triangle(job.Cluster, job.In, job.Seed, job.Emitter), nil
 		},
 	})
 	Register(&adapter{
-		name: "naive", bound: "sequential oracle", rounds: "zero", fullJoin: true, oracle: true,
+		name: "naive", bound: "sequential oracle", load: "linear", rounds: "zero", fullJoin: true, oracle: true,
 		applies: anyQuery,
 		run: func(job Job) (*mpc.Dist, error) {
 			rel := core.Naive(job.In)
@@ -126,7 +132,7 @@ func init() {
 		},
 	})
 	Register(&adapter{
-		name: "count", bound: "IN/p (Cor. 4)", rounds: "const", fullJoin: false,
+		name: "count", bound: "IN/p (Cor. 4)", load: "perP", rounds: "const", fullJoin: false,
 		applies: (*hypergraph.Hypergraph).IsAcyclic,
 		run: func(job Job) (*mpc.Dist, error) {
 			n := core.CountOutput(job.Cluster, job.In, job.Seed)
@@ -136,7 +142,7 @@ func init() {
 		},
 	})
 	Register(&adapter{
-		name: "aggregate", bound: "IN/p + √(IN·OUT_y/p)", rounds: "const", fullJoin: false,
+		name: "aggregate", bound: "IN/p + √(IN·OUT_y/p)", load: "frac", rounds: "const", fullJoin: false,
 		applies: (*hypergraph.Hypergraph).IsAcyclic,
 		run: func(job Job) (*mpc.Dist, error) {
 			return core.Aggregate(job.Cluster, job.In, job.GroupBy, job.Seed, job.Emitter), nil

@@ -103,6 +103,10 @@ type Result struct {
 	Rounds int
 	// Bound names the load bound the algorithm tracks.
 	Bound string
+	// LoadClass is the algorithm's declared load class (perP, frac, or
+	// linear), statically verified by the repoload analyzer. "" when the
+	// algorithm declares none.
+	LoadClass string
 	// TotalComm is the total number of tuples communicated across all
 	// rounds and servers, excluding the initial distribution. Rounds
 	// merged from sub-clusters contribute their per-round maxima — the
@@ -183,6 +187,7 @@ func Run(a Algorithm, job Job) (Result, error) {
 		Load:      job.Cluster.MaxLoad(),
 		Rounds:    job.Cluster.Rounds(),
 		Bound:     BoundOf(a),
+		LoadClass: LoadClassOf(a),
 		TotalComm: job.Cluster.TotalComm(),
 		Exchange:  job.Cluster.Exchange(),
 		Dist:      dist,
@@ -271,6 +276,17 @@ func BoundOf(a Algorithm) string {
 func RoundClassOf(a Algorithm) string {
 	if r, ok := a.(interface{ RoundClass() string }); ok {
 		return r.RoundClass()
+	}
+	return ""
+}
+
+// LoadClassOf returns a's declared load class (perP, frac, or linear), or
+// "" when the algorithm does not implement the optional LoadClass method.
+// The repoload analyzer verifies the declaration statically; the harness
+// checks it against observed Result.Load scaling across cluster widths.
+func LoadClassOf(a Algorithm) string {
+	if l, ok := a.(interface{ LoadClass() string }); ok {
+		return l.LoadClass()
 	}
 	return ""
 }

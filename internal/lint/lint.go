@@ -1,4 +1,4 @@
-// Package lint is the repository's static-analysis suite: seven custom
+// Package lint is the repository's static-analysis suite: nine custom
 // go/analysis analyzers that enforce, at compile time, the contracts the
 // runtime test fences (width sweeps, fuzz parity, -race, AllocsPerRun
 // ceilings) can only sample:
@@ -22,6 +22,14 @@
 //	               declarations
 //	repobound      every registered algorithm declares its round class,
 //	               which its run body's static classification must respect
+//	loadcost       every function gets a static load class (zero, const,
+//	               perP, frac, linear, unknown) from the arithmetic shape
+//	               of its cluster charge arguments, composed
+//	               inter-procedurally from exported facts and checked
+//	               against //lint:load declarations
+//	repoload       every registered algorithm declares its load class,
+//	               which its run body's static classification and its
+//	               bound prose must respect
 //
 // The suite runs through cmd/repolint (`go vet -vettool`), so every
 // package — including future ones — inherits the contracts for free.
@@ -55,6 +63,8 @@ func Analyzers() []*analysis.Analyzer {
 		AllocHygieneAnalyzer,
 		RoundCostAnalyzer,
 		RepoBoundAnalyzer,
+		LoadCostAnalyzer,
+		RepoLoadAnalyzer,
 	}
 }
 

@@ -14,6 +14,8 @@ func TestForkSafetyFixture(t *testing.T)    { runFixture(t, ForkSafetyAnalyzer, 
 func TestAllocHygieneFixture(t *testing.T)  { runFixture(t, AllocHygieneAnalyzer, "allochygiene") }
 func TestRoundCostFixture(t *testing.T)     { runFixture(t, RoundCostAnalyzer, "roundcost") }
 func TestRepoBoundFixture(t *testing.T)     { runFixture(t, RepoBoundAnalyzer, "repobound") }
+func TestLoadCostFixture(t *testing.T)      { runFixture(t, LoadCostAnalyzer, "loadcost") }
+func TestRepoLoadFixture(t *testing.T)      { runFixture(t, RepoLoadAnalyzer, "repoload") }
 
 // TestRoundFactsAcrossPackages exercises the facts mechanism end to end:
 // the chargee package exports round-cost facts, and the caller package
@@ -23,7 +25,14 @@ func TestRoundFactsAcrossPackages(t *testing.T) {
 	runMultiFixture(t, RoundCostAnalyzer, "roundfacts", []string{"chargee", "caller"})
 }
 
-// TestSuiteComplete pins the suite's composition: exactly the seven
+// TestLoadFactsAcrossPackages is the load-axis twin: the caller package's
+// violations exist only if the chargee's load facts flowed across the
+// package boundary.
+func TestLoadFactsAcrossPackages(t *testing.T) {
+	runMultiFixture(t, LoadCostAnalyzer, "loadfacts", []string{"chargee", "caller"})
+}
+
+// TestSuiteComplete pins the suite's composition: exactly the nine
 // contract analyzers, every one carrying the scope flag and a doc string,
 // so cmd/repolint loads what DESIGN.md documents.
 func TestSuiteComplete(t *testing.T) {
@@ -35,6 +44,8 @@ func TestSuiteComplete(t *testing.T) {
 		"repoallochygiene",
 		"reporoundcost",
 		"repobound",
+		"repoloadcost",
+		"repoload",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

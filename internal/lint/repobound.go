@@ -35,9 +35,12 @@ type adapterLit struct {
 	name      string // name: field value ("" if absent or non-literal)
 	bound     string // bound: field value
 	rounds    string // rounds: field value
+	load      string // load: field value
 	hasRounds bool
+	hasLoad   bool
 	roundsPos token.Pos
 	boundPos  token.Pos
+	loadPos   token.Pos
 	run       ast.Expr // run: field value (nil if absent)
 }
 
@@ -84,6 +87,10 @@ func parseAdapters(info *types.Info, files []*ast.File) []adapterLit {
 					a.rounds = stringLit(kv.Value)
 					a.hasRounds = true
 					a.roundsPos = kv.Value.Pos()
+				case "load":
+					a.load = stringLit(kv.Value)
+					a.hasLoad = true
+					a.loadPos = kv.Value.Pos()
 				case "run":
 					a.run = kv.Value
 				}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// RepoLoadAnalyzer closes the load half of the registry loop: every
+// `Register(&adapter{...})` must carry a machine-readable load declaration
+// (`load: "perP|frac|linear"` — the three buckets a registered algorithm
+// can honestly claim; zero/const algorithms don't exist in the catalog),
+// the static class of its run body (computed by repoloadcost from the
+// charging facts) must not exceed it, and the human-readable `bound` string
+// must stay consistent with the declared class: a bound written in terms of
+// /p, √p, or p^(c) must not be paired with a weaker declaration than the
+// strongest marker it contains.
+var RepoLoadAnalyzer = &analysis.Analyzer{
+	Name:     "repoload",
+	Doc:      "registered algorithms must declare a load class that their run body's static classification and bound prose respect",
+	Run:      runRepoLoad,
+	Requires: []*analysis.Analyzer{LoadCostAnalyzer},
+}
+
+func init() {
+	RepoLoadAnalyzer.Flags.String("scope", "repro/internal/engine",
+		"comma-separated package paths to check (\"all\" for every package)")
+}
+
+// loadRunClass classifies an adapter's run value: a function literal is
+// classified in place, a named function through its (fact-backed) class.
+func loadRunClass(lc *LoadCosts, info *types.Info, run ast.Expr) (LoadClass, bool) {
+	switch v := ast.Unparen(run).(type) {
+	case *ast.FuncLit:
+		return lc.FuncLitClass(v), true
+	case *ast.Ident:
+		if fn, ok := info.Uses[v].(*types.Func); ok {
+			return lc.FuncClass(fn), true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[v.Sel].(*types.Func); ok {
+			return lc.FuncClass(fn), true
+		}
+	}
+	return LoadUnknown, false
+}
+
+// boundMarkerClass extracts the strongest load-class claim a Figure 1 bound
+// string makes in prose: "sequential" claims linear, a √ or p^(…) term
+// claims frac, a /p term claims perP, and anything else claims nothing
+// (LoadZero, the bottom — no constraint). The declared class must be at
+// least the marker: a bound may be stated conservatively in /p terms while
+// the declaration carries the honest frac class (RHier's IN/p +
+// L_instance), but a bound advertising √p with a perP tag is drift.
+func boundMarkerClass(bound string) LoadClass {
+	switch {
+	case strings.Contains(bound, "sequential"):
+		return LoadLinear
+	case strings.Contains(bound, "√"), strings.Contains(bound, "p^("):
+		return LoadFrac
+	case strings.Contains(bound, "/p"):
+		return LoadPerP
+	}
+	return LoadZero
+}
+
+// declarableLoad restricts registry declarations to the classes an
+// algorithm can honestly claim.
+func declarableLoad(s string) (LoadClass, bool) {
+	class, ok := ParseLoadClass(s)
+	if !ok || class < LoadPerP {
+		return LoadUnknown, false
+	}
+	return class, true
+}
+
+func runRepoLoad(pass *analysis.Pass) (interface{}, error) {
+	scope := pass.Analyzer.Flags.Lookup("scope").Value.String()
+	if !inScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ignores := buildIgnoreIndex(pass, pass.Analyzer.Name)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !ignores.suppressed(pass.Fset, pass.Analyzer.Name, pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	lc := pass.ResultOf[LoadCostAnalyzer].(*LoadCosts)
+
+	// Only non-test files register algorithms.
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f.Pos()) {
+			files = append(files, f)
+		}
+	}
+
+	for _, a := range parseAdapters(pass.TypesInfo, files) {
+		name := a.name
+		if name == "" {
+			name = "adapter"
+		}
+		if !a.hasLoad {
+			report(a.pos, "%s has no load declaration: add load: \"perP|frac|linear\" matching its Figure 1 load bound", name)
+			continue
+		}
+		declared, ok := declarableLoad(a.load)
+		if !ok {
+			report(a.loadPos, "%s declares invalid load class %q (want perP, frac, or linear)", name, a.load)
+			continue
+		}
+		if marker := boundMarkerClass(a.bound); marker > declared {
+			report(a.boundPos, "%s's bound string %q claims load class %s in prose, stronger than its declared load %q", name, a.bound, marker, a.load)
+		}
+		if a.run == nil {
+			report(a.pos, "%s has no run function to classify", name)
+			continue
+		}
+		class, resolved := loadRunClass(lc, pass.TypesInfo, a.run)
+		if !resolved || class == LoadUnknown {
+			report(a.run.Pos(), "%s's run body classifies as unknown load; restructure it or declare its callees so the class resolves", name)
+			continue
+		}
+		if class > declared {
+			report(a.loadPos, "%s's run body reaches charges of load class %s, which exceeds its declared load %q", name, class, a.load)
+		}
+	}
+	ignores.reportUnused(pass)
+	return nil, nil
+}

@@ -283,9 +283,10 @@ type classifier struct {
 	requireDecls bool
 	collectSites bool
 
-	memo  map[*types.Func]RoundClass
-	sites map[*types.Func][]string // declared charge primitives reachable, per function
-	stack map[*types.Func]*classFrame
+	memo    map[*types.Func]RoundClass
+	sites   map[*types.Func][]string // declared charge primitives reachable, per function
+	siteFns map[string]*types.Func   // site name → function, for cross-classifier rendering
+	stack   map[*types.Func]*classFrame
 }
 
 type classFrame struct {
@@ -397,24 +398,27 @@ func siteName(fn *types.Func) string {
 }
 
 // funcScope is the per-body context for classification: single-assignment
-// dataflow for loop-bound tracing and closure-binding resolution.
+// dataflow for loop-bound tracing, element-assignment tracking for
+// ChargeRound slices, and closure-binding resolution.
 type funcScope struct {
-	info     *types.Info
-	assigns  map[types.Object][]ast.Expr // ident → recorded RHS (nil = untraceable)
-	bindings map[types.Object]*ast.FuncLit
-	sites    *siteSet
-	active   map[*ast.FuncLit]bool // inlining in progress (self-recursive closure guard)
-	recursed map[*ast.FuncLit]bool // closures whose inlining hit their own back-edge
+	info        *types.Info
+	assigns     map[types.Object][]ast.Expr // ident → recorded RHS (nil = untraceable)
+	elemAssigns map[types.Object][]ast.Expr // slice ident → element RHS (nil = accumulation)
+	bindings    map[types.Object]*ast.FuncLit
+	sites       *siteSet
+	active      map[*ast.FuncLit]bool // inlining in progress (self-recursive closure guard)
+	recursed    map[*ast.FuncLit]bool // closures whose inlining hit their own back-edge
 }
 
 func newFuncScope(info *types.Info, body *ast.BlockStmt, sites *siteSet) *funcScope {
 	fs := &funcScope{
-		info:     info,
-		assigns:  map[types.Object][]ast.Expr{},
-		bindings: map[types.Object]*ast.FuncLit{},
-		sites:    sites,
-		active:   map[*ast.FuncLit]bool{},
-		recursed: map[*ast.FuncLit]bool{},
+		info:        info,
+		assigns:     map[types.Object][]ast.Expr{},
+		elemAssigns: map[types.Object][]ast.Expr{},
+		bindings:    map[types.Object]*ast.FuncLit{},
+		sites:       sites,
+		active:      map[*ast.FuncLit]bool{},
+		recursed:    map[*ast.FuncLit]bool{},
 	}
 	record := func(id *ast.Ident, rhs ast.Expr) {
 		if id.Name == "_" {
@@ -428,12 +432,30 @@ func newFuncScope(info *types.Info, body *ast.BlockStmt, sites *siteSet) *funcSc
 			fs.assigns[obj] = append(fs.assigns[obj], rhs)
 		}
 	}
+	recordElem := func(e ast.Expr, rhs ast.Expr) {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		id, ok := ix.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := info.Uses[id]; obj != nil {
+			fs.elemAssigns[obj] = append(fs.elemAssigns[obj], rhs)
+		}
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.AssignStmt:
 			for i, lhs := range v.Lhs {
 				id, ok := lhs.(*ast.Ident)
 				if !ok {
+					if v.Tok == token.ASSIGN && len(v.Rhs) == len(v.Lhs) {
+						recordElem(lhs, v.Rhs[i])
+					} else {
+						recordElem(lhs, nil) // compound assign (+=): accumulation
+					}
 					continue
 				}
 				if len(v.Rhs) == len(v.Lhs) {
@@ -445,6 +467,9 @@ func newFuncScope(info *types.Info, body *ast.BlockStmt, sites *siteSet) *funcSc
 		case *ast.IncDecStmt:
 			if id, ok := v.X.(*ast.Ident); ok {
 				record(id, nil)
+			} else {
+				// loads[s]++ steps the element by one: a const contribution.
+				recordElem(v.X, &ast.BasicLit{Kind: token.INT, Value: "1"})
 			}
 		case *ast.RangeStmt:
 			if id, ok := v.Key.(*ast.Ident); ok {
@@ -542,7 +567,11 @@ func (c *classifier) callClass(fs *funcScope, call *ast.CallExpr) RoundClass {
 		if fs.sites != nil && class > RoundsZero {
 			if fd, _ := c.lookup(fn); fd != nil {
 				if parseRoundDecl(fd, nil) != nil {
-					fs.sites.add(fmt.Sprintf("%s (%s)", siteName(fn), class))
+					name := siteName(fn)
+					fs.sites.add(name)
+					if c.siteFns != nil {
+						c.siteFns[name] = fn
+					}
 				}
 				for _, s := range c.sites[fn] {
 					fs.sites.add(s)

@@ -1,0 +1,208 @@
+// Package loadcost exercises the static load classifier: a stub cluster
+// grounds the intrinsics (Charge, ChargeInput, ChargeRound are recognized
+// syntactically, so the stub works like the real simulator), and each
+// function pins one arithmetic-shape or composition rule — positives flag,
+// blessed idioms stay silent.
+package loadcost
+
+// Value is data-like by the element-type rule: a slice of Values holds one
+// entry per input value, so its length scales with the data.
+type Value string
+
+type cluster struct {
+	P    int
+	load int
+}
+
+// Charge is the grounding intrinsic: the load is n's arithmetic shape.
+func (c *cluster) Charge(s, n int) { c.load += n }
+
+// ChargeInput is the round-robin placement intrinsic.
+func (c *cluster) ChargeInput(total int) { c.load += total / c.P }
+
+// ChargeRound is the per-server load-vector intrinsic.
+func (c *cluster) ChargeRound(loads []int) {
+	for _, n := range loads {
+		c.load += n
+	}
+}
+
+// Isqrt stands in for the integer square root; the divisor rule recognizes
+// it by name over a p argument.
+func Isqrt(p int) int {
+	r := 0
+	for (r+1)*(r+1) <= p {
+		r++
+	}
+	return r
+}
+
+// PerServer charges an even share: data length divided by p is perP.
+//
+//lint:load perP
+func PerServer(c *cluster, vals []Value) {
+	c.Charge(0, len(vals)/c.P)
+}
+
+// Structural charges a structural length: []int is set by the query, not
+// the data, so len stays const.
+//
+//lint:load const
+func Structural(c *cluster, order []int) {
+	c.Charge(0, len(order))
+}
+
+// RootShare divides by a fractional power of p: linear drops to frac.
+//
+//lint:load frac
+func RootShare(c *cluster, vals []Value) {
+	c.Charge(0, len(vals)/Isqrt(c.P))
+}
+
+// Traced follows the single assignment to a local ceil-division share.
+//
+//lint:load perP
+func Traced(c *cluster, vals []Value) {
+	share := (len(vals) + c.P - 1) / c.P
+	c.Charge(0, share)
+}
+
+// Input charges the round-robin placement: ChargeInput divides by p.
+//
+//lint:load perP
+func Input(c *cluster, vals []Value) {
+	c.ChargeInput(len(vals))
+}
+
+// PerRound builds a per-server load vector: ChargeRound takes the max over
+// the recorded element assignments on top of make's zero base.
+//
+//lint:load perP
+func PerRound(c *cluster, vals []Value) {
+	loads := make([]int, c.P)
+	for s := range loads {
+		loads[s] = len(vals) / c.P
+	}
+	c.ChargeRound(loads)
+}
+
+// Accumulated writes elements with +=: an accumulation is untraceable, so
+// the vector classifies linear and the perP declaration is drift.
+//
+//lint:load perP
+func Accumulated(c *cluster, vals []Value) { // want "Accumulated computes load class linear, which exceeds its declared //lint:load perP"
+	loads := make([]int, c.P)
+	for range vals {
+		loads[0] += 1
+	}
+	c.ChargeRound(loads)
+}
+
+// Underdeclared claims perP but ships the whole input to one server.
+//
+//lint:load perP
+func Underdeclared(c *cluster, vals []Value) { // want "Underdeclared computes load class linear, which exceeds its declared //lint:load perP"
+	c.Charge(0, len(vals))
+}
+
+// Relay charges through a declared share with no declaration of its own:
+// exported charging functions must declare.
+func Relay(c *cluster, vals []Value) { // want "exported Relay charges load \\(class perP\\) but has no //lint:load declaration"
+	c.Charge(0, len(vals)/c.P)
+}
+
+// TrustedPerP asserts perP over a body the classifier reads as linear —
+// the balance-argument escape hatch; the body is never classified.
+//
+//lint:load perP trust fixture asserts hash balance
+func TrustedPerP(c *cluster, vals []Value) {
+	c.Charge(0, len(vals))
+}
+
+// Routed declares linear over a body the classifier reads as perP: a valid
+// declaration always wins (the physical exchange is invisible to the
+// classifier), so callers must see linear, not the computed perP.
+//
+//lint:load linear
+func Routed(c *cluster, vals []Value) {
+	c.Charge(0, len(vals)/c.P)
+}
+
+// Composes reaches Routed's declared linear, not its computed perP: the
+// declared-wins rule propagates.
+//
+//lint:load perP
+func Composes(c *cluster, vals []Value) { // want "Composes computes load class linear, which exceeds its declared //lint:load perP"
+	Routed(c, vals)
+}
+
+// BadClass carries an unparseable declaration.
+//
+//lint:load banana // want "lint:load declaration on BadClass has unknown class \"banana\""
+func BadClass(c *cluster) {
+	c.Charge(0, 1)
+}
+
+// NoReason trusts without saying why.
+//
+//lint:load perP trust // want "lint:load trust declaration on NoReason needs a reason"
+func NoReason(c *cluster, vals []Value) {
+	c.Charge(0, len(vals)/c.P)
+}
+
+// RecDeclared recurses with a declaration: the cycle assumes the declared
+// class (assume/guarantee), so it resolves without a diagnostic.
+//
+//lint:load perP
+func RecDeclared(c *cluster, vals []Value) {
+	if len(vals) == 0 {
+		return
+	}
+	c.Charge(0, len(vals)/c.P)
+	RecDeclared(c, vals[1:])
+}
+
+// recUndeclared recurses with nothing to assume.
+func recUndeclared(c *cluster, vals []Value) { // want "recUndeclared is recursive and needs a //lint:load declaration to classify \\(assume/guarantee\\)"
+	if len(vals) == 0 {
+		return
+	}
+	c.Charge(0, len(vals))
+	recUndeclared(c, vals[1:])
+}
+
+// ChargingWalk recurses through a closure that charges: no declaration can
+// anchor an anonymous fixpoint, so the function itself must declare.
+func ChargingWalk(c *cluster, depth int) { // want "ChargingWalk cannot be classified \\(a recursive closure charges load\\) and needs a //lint:load declaration to anchor it"
+	var walk func(d int)
+	walk = func(d int) {
+		if d == 0 {
+			return
+		}
+		c.Charge(0, 1)
+		walk(d - 1)
+	}
+	walk(depth)
+}
+
+// Spawned charges only inside go/defer closures, which run outside this
+// function's round structure (forked charges land on child clusters), so
+// it classifies zero and needs no declaration.
+func Spawned(c *cluster, vals []Value) {
+	go func() { c.Charge(0, len(vals)) }()
+	defer func() { c.Charge(0, len(vals)) }()
+}
+
+// SuppressedUndeclared is the vetted-exception path: the directive below
+// covers the missing-declaration diagnostic, and by being used it escapes
+// the stale-directive report.
+//
+//lint:ignore repoloadcost fixture exercises the suppression path
+func SuppressedUndeclared(c *cluster, vals []Value) {
+	c.Charge(0, len(vals)/c.P)
+}
+
+// Harmless charges nothing, so the directive suppresses nothing.
+//
+//lint:ignore repoloadcost stale excuse // want "lint:ignore repoloadcost suppresses no diagnostic; remove the stale directive"
+func Harmless() {}

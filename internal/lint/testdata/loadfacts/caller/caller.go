@@ -1,0 +1,30 @@
+// Package caller composes load facts imported from the chargee package:
+// every diagnostic here exists only because the facts flowed across the
+// package boundary.
+package caller
+
+import "fixture/loadfacts/chargee"
+
+// Balanced composes the imported perP fact under a matching declaration.
+//
+//lint:load perP
+func Balanced(c *chargee.Cluster, vals []chargee.Value) {
+	chargee.EvenShare(c, vals)
+}
+
+// Gathers reaches the imported linear fact under a perP declaration.
+//
+//lint:load perP
+func Gathers(c *chargee.Cluster, vals []chargee.Value) { // want "Gathers computes load class linear, which exceeds its declared //lint:load perP"
+	chargee.Gather(c, vals)
+}
+
+// Relay charges through the imported primitive with no declaration of its
+// own; without the imported fact it would classify zero and stay silent.
+func Relay(c *chargee.Cluster, vals []chargee.Value) { // want "exported Relay charges load \\(class perP\\) but has no //lint:load declaration"
+	chargee.EvenShare(c, vals)
+}
+
+// FreeUse calls the fact-free function: no fact means zero, the std-lib
+// assumption.
+func FreeUse(c *chargee.Cluster) { chargee.Free(c) }

@@ -1,0 +1,29 @@
+// Package chargee is the charging half of the cross-package load-fact
+// fixture: it exports load facts the caller package composes.
+package chargee
+
+// Value is data-like by the element-type rule.
+type Value string
+
+// Cluster is the stub simulator.
+type Cluster struct {
+	P    int
+	load int
+}
+
+// Charge is the grounding intrinsic.
+func (c *Cluster) Charge(s, n int) { c.load += n }
+
+// EvenShare charges one balanced share; its perP fact crosses the package
+// boundary.
+//
+//lint:load perP
+func EvenShare(c *Cluster, vals []Value) { c.Charge(0, len(vals)/c.P) }
+
+// Gather ships everything to one server; its linear fact is trusted.
+//
+//lint:load linear trust one server receives the whole collection by design
+func Gather(c *Cluster, vals []Value) { c.Charge(0, len(vals)) }
+
+// Free charges nothing and exports no fact.
+func Free(c *Cluster) {}

@@ -248,6 +248,7 @@ func (c *Cluster) addExchange(e ExchangeStats) {
 // everything recorded so far. Per-round maxima are preserved exactly.
 //
 //lint:rounds const trust appends one round per sub-computation round, a count set by the query's recursion structure
+//lint:load linear trust replays the sub-computation's round maxima verbatim; the sub-run's own declarations bound them
 func (c *Cluster) MergeSequential(sub Stats) {
 	// The sub-computation's input round was a real exchange from this
 	// cluster's perspective (data had to reach the sub-cluster's servers),
@@ -268,6 +269,7 @@ func (c *Cluster) MergeSequential(sub Stats) {
 // round-r maxima. Input rounds are likewise merged in parallel.
 //
 //lint:rounds const trust appends max sibling rounds, a count set by the query's recursion structure
+//lint:load linear trust replays max sibling round maxima; the sub-runs' own declarations bound them
 func (c *Cluster) MergeParallel(subs []Stats) {
 	if len(subs) == 0 {
 		return
@@ -308,6 +310,7 @@ func (c *Cluster) MergeParallel(subs []Stats) {
 // whose coordinate in every dimension is that dimension's argmax.
 //
 //lint:rounds const trust appends max per-dimension rounds, a count set by the query's recursion structure
+//lint:load linear trust replays summed per-dimension round maxima; the sub-runs' own declarations bound them
 func (c *Cluster) MergeGrid(dims []Stats) {
 	if len(dims) == 0 {
 		return
@@ -341,6 +344,11 @@ func (c *Cluster) MergeGrid(dims []Stats) {
 // Charge records a synthetic receive of n tuples on server s in a fresh
 // round. It models communication whose routing is fully determined (e.g.
 // packing whole groups onto designated servers) without materializing it.
+//
+// Charge, ChargeInput, and ChargeRound are the load classifier's
+// intrinsics: repoloadcost recognizes them syntactically at every call site
+// and classifies the arithmetic shape of their magnitude arguments, so they
+// carry no //lint:load declarations of their own.
 //
 //lint:rounds const
 func (c *Cluster) Charge(s, n int) {

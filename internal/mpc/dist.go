@@ -71,6 +71,8 @@ func roundRobinParts(c *Cluster, n, w int, withAnnots bool) []Columns {
 // The placement is flat: each server's value buffer is filled with one
 // strided pass over the relation, and the annotation column exists only
 // when the relation is annotated.
+//
+//lint:load perP trust round-robin placement puts exactly ceil(n/p) tuples on each server
 func FromRelation(c *Cluster, r *relation.Relation) *Dist {
 	d := NewDist(c, r.Schema)
 	n := len(r.Tuples)
@@ -144,6 +146,7 @@ func (d *Dist) Positions(attrs []relation.Attr) []int {
 // value buffer (HashTupleAt), so a hash exchange allocates nothing per
 // item and stores at most one destination byte per row.
 //
+//lint:load linear trust hash routing concentrates duplicate keys: a heavy key lands whole on one server, so only callers can argue balance
 //lint:rounds const
 func (d *Dist) ShuffleByKey(pos []int, salt uint64) *Dist {
 	return d.route(d.Schema, router{hashPos: pos, hashSalt: salt})
@@ -152,6 +155,7 @@ func (d *Dist) ShuffleByKey(pos []int, salt uint64) *Dist {
 // ShuffleByAttrs hashes each item's projection onto attrs (resolved against
 // the schema) and routes it to hash % P.
 //
+//lint:load linear
 //lint:rounds const
 func (d *Dist) ShuffleByAttrs(attrs []relation.Attr, salt uint64) *Dist {
 	return d.ShuffleByKey(d.Positions(attrs), salt)
@@ -159,6 +163,7 @@ func (d *Dist) ShuffleByAttrs(attrs []relation.Attr, salt uint64) *Dist {
 
 // ShuffleBy routes each item to the single server chosen by f.
 //
+//lint:load linear trust the routing function is caller-supplied; nothing bounds how many items it sends to one server
 //lint:rounds const
 func (d *Dist) ShuffleBy(f func(it Item) int) *Dist {
 	return d.route(d.Schema, router{one: func(_ int, it Item) int { return f(it) }})
@@ -167,6 +172,7 @@ func (d *Dist) ShuffleBy(f func(it Item) int) *Dist {
 // ReplicateBy routes each item to every server chosen by f (used by
 // HyperCube-style plans where a tuple is copied along grid dimensions).
 //
+//lint:load linear trust the replication function is caller-supplied; nothing bounds how many items reach one server
 //lint:rounds const
 func (d *Dist) ReplicateBy(f func(it Item) []int) *Dist {
 	return d.route(d.Schema, router{many: func(_ int, it Item) []int { return f(it) }})
@@ -175,6 +181,7 @@ func (d *Dist) ReplicateBy(f func(it Item) []int) *Dist {
 // Broadcast copies every item to all servers: one round, load = Size() per
 // server. Only used for provably small collections (boundaries, statistics).
 //
+//lint:load linear trust every server receives the whole collection; callers broadcast only provably small ones
 //lint:rounds const
 func (d *Dist) Broadcast() *Dist {
 	all := make([]int, d.C.P)
@@ -186,6 +193,7 @@ func (d *Dist) Broadcast() *Dist {
 
 // GatherTo ships everything to a single server.
 //
+//lint:load linear trust one server receives the whole collection by design
 //lint:rounds const
 func (d *Dist) GatherTo(s int) *Dist {
 	return d.route(d.Schema, router{one: func(_ int, _ Item) int { return s }})
@@ -252,6 +260,8 @@ func Concat(ds ...*Dist) *Dist {
 // cluster's round 0 with the items as its initial input. Used when handing
 // a sub-problem to a sub-cluster; items are spread round-robin through the
 // same batched flat placement as FromRelation.
+//
+//lint:load perP trust round-robin placement puts exactly ceil(n/p) tuples on each sub-cluster server
 func (d *Dist) MoveTo(sub *Cluster) *Dist {
 	withAnnots := d.hasAnnots()
 	w := d.partsWidth()

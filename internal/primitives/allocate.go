@@ -19,6 +19,7 @@ func (r Range) Width() int { return r.Hi - r.Lo }
 //
 // The returned map is keyed by the subproblem tuple's encoding.
 //
+//lint:load const trust callers guarantee O(p) subproblems, so the broadcast directory has O(p) entries
 //lint:rounds const
 func AllocateServers(dir *mpc.Dist) map[string]Range {
 	out := make(map[string]Range, dir.Size())

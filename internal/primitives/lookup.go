@@ -33,6 +33,7 @@ type LookupResult struct {
 // records sort before x records of the same key), so the boundary scan
 // doubles as the duplicate check.
 //
+//lint:load perP
 //lint:rounds const
 func Lookup(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr,
 	outSchema relation.Schema,
@@ -126,6 +127,7 @@ func verifyDistinctDirectory(rc *recCols) {
 // splitter-based but deterministic (stride sampling, no RNG), so no salt
 // is needed — the parameter the old hash-based sketches reserved is gone.
 //
+//lint:load perP
 //lint:rounds const
 func SemiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr) *mpc.Dist {
 	// An empty probe side is empty output; don't pay for sorting the
@@ -142,6 +144,7 @@ func SemiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.At
 
 // AntiJoin returns the items of x with no matching key in d.
 //
+//lint:load perP
 //lint:rounds const
 func AntiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr) *mpc.Dist {
 	if x.Size() == 0 {
@@ -159,6 +162,7 @@ func AntiJoin(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.At
 // are dropped when dropMissing, kept unchanged otherwise. This is the
 // annotation-merge step (line 9) of LinearAggroYannakakis.
 //
+//lint:load perP
 //lint:rounds const
 func AttachAnnot(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation.Attr,
 	ring relation.Semiring, dropMissing bool) *mpc.Dist {
@@ -175,6 +179,7 @@ func AttachAnnot(x *mpc.Dist, xKey []relation.Attr, d *mpc.Dist, dKey []relation
 // sort-based and skew-proof. The kept item is the first in sort order; its
 // annotation is NOT combined (use SumByKey for that).
 //
+//lint:load perP
 //lint:rounds const
 func DistinctByKey(d *mpc.Dist, keyAttrs []relation.Attr) *mpc.Dist {
 	pos := d.Positions(keyAttrs)

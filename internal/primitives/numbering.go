@@ -15,6 +15,7 @@ import (
 // chunks, so per-server boundary state is O(1)). Records go through the
 // pooled columnar set — no per-call []rec rebuild.
 //
+//lint:load perP
 //lint:rounds const
 func MultiNumbering(d *mpc.Dist, keyAttrs []relation.Attr, numberAttr relation.Attr) *mpc.Dist {
 	pos := d.Positions(keyAttrs)

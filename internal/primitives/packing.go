@@ -12,6 +12,7 @@ import "repro/internal/mpc"
 // global ids by a prefix sum over per-server counts; the ≤ p leftover
 // partial groups are packed by the coordinator in one more step.
 //
+//lint:load const
 //lint:rounds const
 func ParallelPacking(d *mpc.Dist, capacity int64) (*mpc.Dist, int) {
 	if capacity <= 0 {

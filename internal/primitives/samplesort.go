@@ -58,6 +58,7 @@ const splitterOversample = 8
 // each server its chunk size in one round (the paper's one-round sample
 // sort with linear load). Chunk s is rows [bounds[s], bounds[s+1]) of rc.
 //
+//lint:load perP
 //lint:rounds const
 func sortAndChop(c *mpc.Cluster, rc *recCols) []int {
 	sampleSortCols(rc, runtime.Parallelism())

@@ -47,6 +47,7 @@ func recLess(a, b rec) bool {
 // round. Chunk s is rows [bounds[s], bounds[s+1]). Shared by the parallel
 // sample sort and the serial reference, so both paths charge identically.
 //
+//lint:load perP trust ceil-division chunking puts at most ceil(n/p) records on each server
 //lint:rounds const
 func chopBounds(c *mpc.Cluster, n int) []int {
 	p := c.P
@@ -105,6 +106,7 @@ func serialSortAndChopRef(c *mpc.Cluster, recs []rec) [][]rec {
 // exchange: every server sends O(1) values to the coordinator (load p at
 // server 0), which replies with O(1) values to each server (load 1 each).
 //
+//lint:load const
 //lint:rounds const
 func chargeCoordinatorExchange(c *mpc.Cluster) {
 	c.Charge(0, c.P)

@@ -14,6 +14,7 @@ import (
 // partials per assigned key: load O(IN/p + p · keys/p) = O(IN/p) — the skew
 // of the raw data never concentrates.
 //
+//lint:load perP trust the local combiner caps the shuffle at one partial per (server, key): O(IN/p + p) per receiver
 //lint:rounds const
 func SumByKey(d *mpc.Dist, keyAttrs []relation.Attr, ring relation.Semiring, salt uint64) *mpc.Dist {
 	pos := d.Positions(keyAttrs)
@@ -26,6 +27,7 @@ func SumByKey(d *mpc.Dist, keyAttrs []relation.Attr, ring relation.Semiring, sal
 // CountByKey returns the degree of every key: one item per distinct key,
 // annotated with the number of matching items (annotations ignored).
 //
+//lint:load perP
 //lint:rounds const
 func CountByKey(d *mpc.Dist, keyAttrs []relation.Attr, salt uint64) *mpc.Dist {
 	ones := d.MapLocal(d.Schema, func(_ int, it mpc.Item) []mpc.Item {
@@ -68,6 +70,7 @@ func localCombine(d *mpc.Dist, pos []int, schema relation.Schema, ring relation.
 // coordinator), then a broadcast of the single total (load 1 per server).
 // Every server then "knows" the value; the caller gets it directly.
 //
+//lint:load const
 //lint:rounds const
 func TotalSum(d *mpc.Dist, ring relation.Semiring) int64 {
 	total := ring.Zero
@@ -83,6 +86,7 @@ func TotalSum(d *mpc.Dist, ring relation.Semiring) int64 {
 
 // TotalCount returns the number of items, charged like TotalSum.
 //
+//lint:load const
 //lint:rounds const
 func TotalCount(d *mpc.Dist) int64 {
 	n := int64(d.Size())
