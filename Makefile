@@ -6,8 +6,8 @@ GO ?= go
 # reference: Exchange/Route (columnar plan/scatter vs tuple-at-a-time),
 # SampleSort/SerialSortRef (rank-vector sort vs coordinator sort), the
 # columnar FromRelation placement, plus Lookup end-to-end over the pooled
-# record columns.
-BENCH ?= BenchmarkExchange|BenchmarkRoute|BenchmarkFromRelation|BenchmarkSampleSort|BenchmarkSerialSortRef|BenchmarkLookup|BenchmarkMicro_SemiJoin
+# record columns and the cost-based dispatch overhead (AutoCost).
+BENCH ?= BenchmarkExchange|BenchmarkRoute|BenchmarkFromRelation|BenchmarkSampleSort|BenchmarkSerialSortRef|BenchmarkLookup|BenchmarkMicro_SemiJoin|BenchmarkEngine_AutoCost
 COUNT ?= 6
 
 # Coverage floors for the data-plane packages (percent of statements).
@@ -27,8 +27,8 @@ FUZZTIME ?= 10s
 # threshold because trajectory files come from whatever machine ran `make
 # bench` — it must absorb machine drift while still catching a lost
 # optimization.
-BENCH_JSON ?= BENCH_9.json
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_JSON ?= BENCH_10.json
+BENCH_BASELINE ?= BENCH_9.json
 GATE ?= 25
 
 .PHONY: ci fmt vet build test race smoke bench bench-all bench-compare bench-smoke bench-verify fuzz-smoke cover lint lint-fix-list tidy-check contracts contracts-verify experiments
@@ -145,8 +145,12 @@ contracts-verify:
 #
 #	make bench > new.txt && git stash && make bench > old.txt
 #	benchstat old.txt new.txt
+#
+# -p 1 serializes the per-package test binaries: letting them run
+# concurrently (the go test default) contends for cores and inflates the
+# counted medians by double-digit percentages on loaded machines.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON) -baseline $(BENCH_BASELINE)
+	$(GO) test -p 1 -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON) -baseline $(BENCH_BASELINE)
 
 # bench-compare gates the recorded trajectory against the previous
 # generation's without re-running anything: any shared benchmark whose

@@ -86,6 +86,54 @@ func BenchmarkEngine_Dispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkEngine_AutoCost measures cost-based dispatch, no data-plane
+// execution. "dispatch" is AutoCost end-to-end per catalog query —
+// classification plus the cost model; classification is the dominant term
+// and is the same work structural Auto does (BenchmarkEngine_Dispatch).
+// "costmodel" isolates what cost-based dispatch adds on top: the
+// statistics-only OUT estimate plus a predicted load for every registered
+// algorithm, which must stay sub-microsecond per query.
+func BenchmarkEngine_AutoCost(b *testing.B) {
+	cat := hypergraph.Catalog()
+	ins := make([]*core.Instance, len(cat))
+	for i, e := range cat {
+		ins[i] = gen.ForQuery(mpc.NewChildRng(2019, i), e.Q, 256, 12)
+	}
+	b.Run("dispatch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range cat {
+				if _, _, err := engine.AutoCost(ins[j], 16, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(cat)), "ns/dispatch")
+	})
+	b.Run("costmodel", func(b *testing.B) {
+		// Mirror candidates(): only runnable candidates are priced. The
+		// shape checks themselves are classification work structural Auto
+		// already pays, so they sit outside the timed loop.
+		runnable := make([][]engine.Algorithm, len(cat))
+		for j, e := range cat {
+			for _, a := range engine.All() {
+				if a.Applies(e.Q) {
+					runnable[j] = append(runnable[j], a)
+				}
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range cat {
+				outEst := engine.EstimateOut(ins[j])
+				for _, a := range runnable[j] {
+					engine.PredictLoad(a, ins[j], outEst, 16)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(cat)), "ns/query")
+	})
+}
+
 // BenchmarkEngine_Auto runs every catalog query end-to-end through the
 // engine on a uniform instance: dispatch, execution on the simulator, and
 // the measured load/rounds/OUT as metrics. One sub-benchmark per catalog

@@ -17,10 +17,13 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/gen"
 	"repro/internal/harness"
 	"repro/internal/hypergraph"
 	"repro/internal/lint"
+	"repro/internal/mpc"
 	"repro/internal/relation"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -81,6 +84,31 @@ func moduleRoot() (string, bool) {
 	}
 }
 
+// printCostDispatch runs cost-based dispatch on a small deterministic
+// uniform instance of q and prints the predicted-vs-actual load with the
+// full candidate ranking, so a misprediction is visible from the command
+// line without the harness.
+func printCostDispatch(q *hypergraph.Hypergraph) {
+	const n, dom, p, seed = 64, 6, 16, 2019
+	in := gen.ForQuery(mpc.NewChildRng(seed, 0), q, n, dom)
+	res, err := engine.AutoRun(engine.Job{In: in, P: p, Seed: seed})
+	if err != nil {
+		fmt.Printf("cost dispatch failed: %v\n", err)
+		return
+	}
+	fmt.Printf("cost dispatch (uniform n=%d dom=%d, p=%d): %s, predicted L = %.1f via %s, measured L = %d, L/pred = %.3f\n",
+		n, dom, p, res.Algorithm, res.Predicted, res.PredictedBy, res.Load,
+		stats.Ratio(res.Load, res.Predicted))
+	fmt.Println("candidates (argmin predicted load first):")
+	for _, c := range res.Candidates {
+		if c.Rejected != "" {
+			fmt.Printf("  %-12s rejected: %s\n", c.Name, c.Rejected)
+			continue
+		}
+		fmt.Printf("  %-12s predicted L = %.1f via %s\n", c.Name, c.Predicted, c.PredictedBy)
+	}
+}
+
 func parseQuery(s string) (*hypergraph.Hypergraph, error) {
 	var edges []hypergraph.AttrSet
 	for _, part := range strings.Split(s, ";") {
@@ -116,6 +144,7 @@ func describe(q *hypergraph.Hypergraph) {
 			a.Name(), engine.BoundOf(a), engine.RoundClassOf(a), engine.LoadClassOf(a))
 		printStaticClasses(a.Name())
 	}
+	printCostDispatch(q)
 	if cls == hypergraph.Cyclic {
 		fmt.Println("join tree: none (cyclic)")
 		return

@@ -21,7 +21,6 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/mpc"
@@ -43,12 +42,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	a, err := pick(*algo, in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "joinrun:", err)
-		os.Exit(1)
+	job := engine.Job{In: in, P: *p, Seed: *seed, CheckOracle: true}
+	var res engine.Result
+	if *algo == "auto" {
+		// Cost-based dispatch: argmin predicted load over the class's
+		// candidates; the error message lists every candidate tried.
+		res, err = engine.AutoRun(job)
+	} else {
+		res, err = engine.RunNamed(*algo, job)
 	}
-	res, err := engine.Run(a, engine.Job{In: in, P: *p, Seed: *seed, CheckOracle: true})
 	status := "OK"
 	switch {
 	case errors.Is(err, engine.ErrVerify):
@@ -60,6 +62,7 @@ func main() {
 		status = "not oracle-checked"
 	}
 
+	a, _ := engine.Lookup(res.Algorithm)
 	out := res.OUT
 	if !engine.IsFullJoin(a) {
 		out = res.Annot
@@ -68,22 +71,27 @@ func main() {
 		res.Algorithm, *family, in.Q.Classify(), in.IN(), out, *p)
 	fmt.Printf("  load L = %d   rounds = %d   bound tracked: %s   verification: %s\n",
 		res.Load, res.Rounds, res.Bound, status)
+	fmt.Printf("  dispatch: predicted L = %.1f via %s   L/pred = %.3f\n",
+		res.Predicted, res.PredictedBy, stats.Ratio(res.Load, res.Predicted))
+	printScorecard(res.Candidates)
 	fmt.Printf("  comm: total = %d tuples   exchanges = %d (%d tuples batched, %d active destinations)\n",
 		res.TotalComm, res.Exchange.Exchanges, res.Exchange.Tuples, res.Exchange.ActiveDests)
 	fmt.Printf("  bounds: linear IN/p = %.0f   Yannakakis IN/p+OUT/p = %.0f   paper IN/p+√(IN·OUT/p) = %.0f\n",
 		stats.Linear(in.IN(), *p), stats.Yannakakis(in.IN(), out, *p), stats.Acyclic(in.IN(), out, *p))
 }
 
-// pick resolves -algo: explicit names via the registry, "auto" via the
-// engine's Figure 1 dispatch.
-func pick(name string, in *core.Instance) (engine.Algorithm, error) {
-	if name == "auto" {
-		return engine.Auto(in.Q)
+// printScorecard renders the ranked dispatch candidates of an auto run
+// (argmin first, rejected candidates last); explicit -algo runs carry none.
+func printScorecard(cands []engine.Candidate) {
+	if len(cands) == 0 {
+		return
 	}
-	a, ok := engine.Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("unknown algorithm %q (have auto, %s)",
-			name, strings.Join(engine.Names(), ", "))
+	fmt.Println("  candidates (argmin predicted load first):")
+	for _, c := range cands {
+		if c.Rejected != "" {
+			fmt.Printf("    %-12s rejected: %s\n", c.Name, c.Rejected)
+			continue
+		}
+		fmt.Printf("    %-12s predicted L = %.1f via %s\n", c.Name, c.Predicted, c.PredictedBy)
 	}
-	return a, nil
 }

@@ -9,7 +9,12 @@ import (
 
 // adapter wraps one core algorithm as an Algorithm. Every algorithm name in
 // the repository lives here and only here: callers reach algorithms through
-// Lookup/Auto, never through per-algorithm switch statements.
+// Lookup/Auto/AutoCost, never through per-algorithm switch statements. The
+// names double as the key into stats.Predict — the dispatcher's cost model
+// maps each name's declared bound to its quantitative formula, so renaming
+// an adapter without updating internal/stats/predict.go demotes it to the
+// load-class fallback predictor (the catalog dispatch tests pin that every
+// registered name has a per-name formula).
 type adapter struct {
 	name  string
 	bound string

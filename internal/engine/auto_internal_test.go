@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// withCyclicDispatch swaps the cyclic class's dispatch list for the test
+// and restores it. Serial only — the dispatch table is package state.
+func withCyclicDispatch(t *testing.T, names []string, body func()) {
+	t.Helper()
+	old := dispatch[hypergraph.Cyclic]
+	dispatch[hypergraph.Cyclic] = names
+	defer func() { dispatch[hypergraph.Cyclic] = old }()
+	body()
+}
+
+// TestCandidatesScorecard pins the per-candidate rejection reasons: a name
+// missing from the registry and a shape mismatch must both be visible in
+// the scorecard, ranked after every runnable candidate.
+func TestCandidatesScorecard(t *testing.T) {
+	withCyclicDispatch(t, []string{"ghost", "hypercube", "triangle", "naive"}, func() {
+		cands := candidates(hypergraph.Triangle(), nil)
+		got := map[string]string{}
+		for _, c := range cands {
+			got[c.Name] = c.Rejected
+		}
+		if got["ghost"] != "not registered" {
+			t.Errorf("ghost rejected %q, want \"not registered\"", got["ghost"])
+		}
+		if got["hypercube"] != "Applies rejects the query" {
+			t.Errorf("hypercube rejected %q, want the Applies reason", got["hypercube"])
+		}
+		want := []string{"triangle", "naive", "ghost", "hypercube"}
+		for i, c := range cands {
+			if c.Name != want[i] {
+				t.Fatalf("scorecard order %v, want runnable-first %v", cands, want)
+			}
+		}
+	})
+}
+
+// TestAutoErrorListsCandidates: when nothing covers the query, the error
+// names every candidate tried and why each was rejected.
+func TestAutoErrorListsCandidates(t *testing.T) {
+	withCyclicDispatch(t, []string{"ghost", "hypercube"}, func() {
+		_, err := Auto(hypergraph.Triangle())
+		if err == nil {
+			t.Fatal("Auto with no runnable candidate must fail")
+		}
+		for _, want := range []string{"ghost: not registered", "hypercube: Applies rejects the query", "cyclic"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not mention %q", err, want)
+			}
+		}
+	})
+}
+
+// TestTiebreakModes pins the two tiebreak regimes the dispatcher promises:
+// without statistics the Figure 1 preference order decides (triangle before
+// the naive oracle), and with statistics an exact load tie falls to the
+// declared round class (naive's zero rounds beat triangle's constant).
+func TestTiebreakModes(t *testing.T) {
+	q := hypergraph.Triangle()
+	structural := candidates(q, nil)
+	if structural[0].Name != "triangle" {
+		t.Errorf("structural tiebreak = %s, want the preference order's triangle", structural[0].Name)
+	}
+	flat := candidates(q, func(Algorithm) (float64, string) { return 5, "flat" })
+	if flat[0].Name != "naive" {
+		t.Errorf("equal-load tiebreak = %s, want naive (fewer rounds)", flat[0].Name)
+	}
+}
+
+// TestRoundRankOrder pins the round-class ordering used for load ties.
+func TestRoundRankOrder(t *testing.T) {
+	classes := []string{"zero", "const", "log", "loop", "unknown"}
+	for i := 1; i < len(classes); i++ {
+		if roundRank(classes[i-1]) >= roundRank(classes[i]) {
+			t.Errorf("roundRank(%s) should rank before %s", classes[i-1], classes[i])
+		}
+	}
+}

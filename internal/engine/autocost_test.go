@@ -1,0 +1,107 @@
+package engine_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+	"repro/internal/mpc"
+)
+
+// TestAutoCostCatalog sweeps cost-based dispatch over the full catalog:
+// the pick must satisfy Applies, head the scorecard, carry a finite
+// prediction, and the runnable prefix must be sorted by ascending
+// predicted load; a second dispatch on the same instance must reproduce
+// the scorecard exactly (dispatch is a pure function of the statistics).
+func TestAutoCostCatalog(t *testing.T) {
+	const p, seed = 16, uint64(2019)
+	for i, e := range hypergraph.Catalog() {
+		in := gen.ForQuery(mpc.NewChildRng(seed, i), e.Q, 64, 6)
+		a, cands, err := engine.AutoCost(in, p, -1)
+		if err != nil {
+			t.Errorf("%s: AutoCost failed: %v", e.Name, err)
+			continue
+		}
+		if !a.Applies(e.Q) {
+			t.Errorf("%s: cost pick %s but Applies rejects the query", e.Name, a.Name())
+		}
+		if len(cands) == 0 || cands[0].Name != a.Name() || cands[0].Rejected != "" {
+			t.Errorf("%s: pick %s does not head the scorecard %+v", e.Name, a.Name(), cands)
+		}
+		prev := math.Inf(-1)
+		rejectedSeen := false
+		for _, c := range cands {
+			if c.Rejected != "" {
+				rejectedSeen = true
+				continue
+			}
+			if rejectedSeen {
+				t.Errorf("%s: runnable %s ranked after a rejected candidate", e.Name, c.Name)
+			}
+			if math.IsNaN(c.Predicted) || math.IsInf(c.Predicted, 0) || c.Predicted < 0 {
+				t.Errorf("%s: %s predicted %v, want finite ≥ 0", e.Name, c.Name, c.Predicted)
+			}
+			if c.PredictedBy == "" {
+				t.Errorf("%s: %s has no predictor formula", e.Name, c.Name)
+			}
+			if c.Predicted < prev {
+				t.Errorf("%s: scorecard not sorted by predicted load: %+v", e.Name, cands)
+			}
+			prev = c.Predicted
+		}
+		a2, cands2, err := engine.AutoCost(in, p, -1)
+		if err != nil || a2.Name() != a.Name() || !reflect.DeepEqual(cands, cands2) {
+			t.Errorf("%s: dispatch not deterministic: %s/%+v vs %s/%+v (err %v)",
+				e.Name, a.Name(), cands, a2.Name(), cands2, err)
+		}
+	}
+}
+
+// TestAutoRunRecordsScorecard: AutoRun must fill the predicted-vs-actual
+// fields and run exactly what Run would run for the picked algorithm.
+func TestAutoRunRecordsScorecard(t *testing.T) {
+	in := gen.Line3Random(mpc.NewRng(11), 256, 512)
+	job := engine.Job{In: in, P: 8, Seed: 11, CheckOracle: true}
+	res, err := engine.AutoRun(job)
+	if err != nil {
+		t.Fatalf("AutoRun: %v", err)
+	}
+	if len(res.Candidates) == 0 || res.Candidates[0].Name != res.Algorithm {
+		t.Fatalf("scorecard missing or not headed by the pick: %+v", res.Candidates)
+	}
+	if res.Predicted <= 0 || res.PredictedBy == "" {
+		t.Errorf("predicted load not recorded: %v via %q", res.Predicted, res.PredictedBy)
+	}
+	direct, err := engine.RunNamed(res.Algorithm, job)
+	if err != nil {
+		t.Fatalf("RunNamed(%s): %v", res.Algorithm, err)
+	}
+	if res.OUT != direct.OUT || res.Load != direct.Load || res.Rounds != direct.Rounds {
+		t.Errorf("AutoRun (OUT=%d L=%d R=%d) != RunNamed (OUT=%d L=%d R=%d)",
+			res.OUT, res.Load, res.Rounds, direct.OUT, direct.Load, direct.Rounds)
+	}
+	if direct.Candidates != nil {
+		t.Error("explicitly-named runs must not claim a dispatch scorecard")
+	}
+}
+
+// TestEstimateOut pins the statistics-only OUT estimate: exact zero on an
+// empty relation, the exact product on Cartesian products, and positive on
+// joins.
+func TestEstimateOut(t *testing.T) {
+	prod := gen.CartesianSizes(8, 4, 2)
+	if got := engine.EstimateOut(prod); got != 8*4*2 {
+		t.Errorf("EstimateOut(product 8×4×2) = %d, want 64", got)
+	}
+	empty := gen.CartesianSizes(8, 0, 2)
+	if got := engine.EstimateOut(empty); got != 0 {
+		t.Errorf("EstimateOut with an empty relation = %d, want 0", got)
+	}
+	line := gen.Line3Random(mpc.NewRng(3), 128, 256)
+	if got := engine.EstimateOut(line); got <= 0 {
+		t.Errorf("EstimateOut(line3) = %d, want > 0", got)
+	}
+}

@@ -1,14 +1,19 @@
 // Package engine is the repository's unified execution surface: every join
 // algorithm in internal/core is wrapped as an Algorithm, published in a
-// registry, and selected per query by classification-driven dispatch
-// (Auto). Callers describe WHAT to run with a Job and read the measurement
-// back as a Result; they never touch clusters, emitters or per-algorithm
-// signatures directly.
+// registry, and selected per query by cost-based dispatch. Callers
+// describe WHAT to run with a Job and read the measurement back as a
+// Result; they never touch clusters, emitters or per-algorithm signatures
+// directly.
 //
 // The paper's Figure 1 hierarchy (tall-flat ⊂ hierarchical ⊂
-// r-hierarchical ⊂ acyclic) is executable here: Auto classifies the query
-// and routes it to the cheapest registered algorithm whose guarantee covers
-// the class. This is the seam the ROADMAP's cross-process sharding item
+// r-hierarchical ⊂ acyclic) is executable here: classification names the
+// candidate set, and AutoCost ranks the candidates by predicted
+// per-server load — each adapter's repoload-verified load class refined
+// by the stats formula for its declared bound — picking the argmin, with
+// the Figure 1 preference order as the deterministic tiebreak. Auto is
+// the statistics-free projection (preference order alone), and every
+// Result records predicted next to measured load so mispredictions are
+// visible. This is the seam the ROADMAP's cross-process sharding item
 // plugs into — a serving layer only needs Job in, Result out.
 package engine
 
@@ -107,6 +112,18 @@ type Result struct {
 	// linear), statically verified by the repoload analyzer. "" when the
 	// algorithm declares none.
 	LoadClass string
+	// Predicted is the per-server load the dispatcher's cost model
+	// predicted for this run before it executed (PredictLoad over the
+	// job's OUT estimate: Want when the caller knew the oracle count, the
+	// EstimateOut statistics otherwise). Compare against Load to see
+	// mispredictions; the Fig1 tables and cmd/classify render the ratio.
+	Predicted float64
+	// PredictedBy names the stats formula behind Predicted.
+	PredictedBy string
+	// Candidates is the ranked scorecard cost-based dispatch considered
+	// (argmin first, rejected candidates last). Nil when the algorithm
+	// was chosen explicitly rather than through AutoRun.
+	Candidates []Candidate
 	// TotalComm is the total number of tuples communicated across all
 	// rounds and servers, excluding the initial distribution. Rounds
 	// merged from sub-clusters contribute their per-round maxima — the
@@ -180,17 +197,20 @@ func Run(a Algorithm, job Job) (Result, error) {
 	if err != nil {
 		return Result{Algorithm: a.Name()}, fmt.Errorf("engine: %s: %w", a.Name(), err)
 	}
+	predicted, predictedBy := PredictLoad(a, job.In, outEstimate(job), job.P)
 	res := Result{
-		Algorithm: a.Name(),
-		OUT:       counter.N,
-		Annot:     counter.AnnotSum,
-		Load:      job.Cluster.MaxLoad(),
-		Rounds:    job.Cluster.Rounds(),
-		Bound:     BoundOf(a),
-		LoadClass: LoadClassOf(a),
-		TotalComm: job.Cluster.TotalComm(),
-		Exchange:  job.Cluster.Exchange(),
-		Dist:      dist,
+		Algorithm:   a.Name(),
+		OUT:         counter.N,
+		Annot:       counter.AnnotSum,
+		Load:        job.Cluster.MaxLoad(),
+		Rounds:      job.Cluster.Rounds(),
+		Bound:       BoundOf(a),
+		LoadClass:   LoadClassOf(a),
+		Predicted:   predicted,
+		PredictedBy: predictedBy,
+		TotalComm:   job.Cluster.TotalComm(),
+		Exchange:    job.Cluster.Exchange(),
+		Dist:        dist,
 	}
 	if table != nil {
 		res.Table = table.Rel()
@@ -247,17 +267,33 @@ func RunNamed(name string, job Job) (Result, error) {
 	return Run(a, job)
 }
 
-// AutoRun dispatches the job's query through Auto and runs the selected
-// algorithm: the whole engine API in one call.
+// outEstimate is the OUT the dispatcher predicts with: the caller-known
+// oracle count when the job carries one (the harness computes it once per
+// instance anyway), the statistics-only EstimateOut otherwise. Never the
+// measured OUT — predictions are made strictly from pre-run information.
+func outEstimate(job Job) int64 {
+	if job.CheckWant && job.Want >= 0 {
+		return job.Want
+	}
+	return EstimateOut(job.In)
+}
+
+// AutoRun dispatches the job's query through cost-based dispatch
+// (AutoCost) and runs the argmin candidate: the whole engine API in one
+// call. The Result carries the ranked candidate scorecard alongside the
+// predicted and measured loads, so mispredictions are visible to every
+// caller.
 func AutoRun(job Job) (Result, error) {
 	if job.In == nil {
 		return Result{}, fmt.Errorf("engine: job has no instance")
 	}
-	a, err := Auto(job.In.Q)
+	a, cands, err := AutoCost(job.In, job.P, outEstimate(job))
 	if err != nil {
-		return Result{}, err
+		return Result{Candidates: cands}, err
 	}
-	return Run(a, job)
+	res, err := Run(a, job)
+	res.Candidates = cands
+	return res, err
 }
 
 // BoundOf names the load bound a tracks, or "" when the algorithm does not

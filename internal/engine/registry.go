@@ -16,6 +16,10 @@ var (
 
 // Register publishes a under a.Name(). Empty or duplicate names panic:
 // registration is an init-time wiring error, not a runtime condition.
+// Algorithms registered from outside the repository's catalog take part
+// in cost-based dispatch through the load-class fallback predictor
+// (stats.PredictClass); registering a per-name formula in
+// internal/stats/predict.go sharpens their ranking.
 func Register(a Algorithm) {
 	name := a.Name()
 	if name == "" {

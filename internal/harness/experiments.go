@@ -71,24 +71,58 @@ func (s Scale) job(in *core.Instance, want int64) engine.Job {
 	return engine.Job{In: in, P: s.P, Seed: s.Seed, Want: want, CheckWant: want >= 0}
 }
 
+// Fig1 cost-dispatch cell: every catalog query gets a small uniform
+// instance (fig1N tuples per relation over a fig1Dom-value domain — small
+// enough that the naive oracle on the 3-way Cartesian product stays
+// cheap), the engine dispatches on predicted load with the oracle count as
+// the OUT estimate, and a run whose measured load exceeds mispredSlack ×
+// prediction is flagged MISPRED in the table.
+const (
+	fig1N        = 64
+	fig1Dom      = 6
+	mispredSlack = 8.0
+)
+
+// dispatchFlag renders the predicted-vs-actual verdict for one run.
+func dispatchFlag(load int, predicted float64) string {
+	if stats.Ratio(load, predicted) > mispredSlack {
+		return "MISPRED"
+	}
+	return "ok"
+}
+
 // Fig1Classification regenerates Figure 1: the classification of the query
-// catalog, with witnesses for each strict inclusion and the algorithm the
-// engine routes each class to.
+// catalog with witnesses for each strict inclusion, the algorithm the
+// engine routes each class to structurally, and — on a uniform instance
+// per query — the cost-based pick with its predicted vs measured load.
 func Fig1Classification(s Scale) *Table {
 	t := &Table{
-		Title:  "Figure 1 — classification of joins (tall-flat ⊂ hierarchical ⊂ r-hierarchical ⊂ acyclic)",
-		Header: []string{"query", "acyclic", "r-hier", "hier", "tall-flat", "class", "engine"},
+		Title: "Figure 1 — classification of joins (tall-flat ⊂ hierarchical ⊂ r-hierarchical ⊂ acyclic)",
+		Note: fmt.Sprintf("p=%d; cost pick = argmin predicted load on a uniform instance (n=%d, dom=%d), OUT from the naive oracle; MISPRED = L > %.0f·pred",
+			s.P, fig1N, fig1Dom, mispredSlack),
+		Header: []string{"query", "acyclic", "r-hier", "hier", "tall-flat", "class", "engine",
+			"cost pick", "pred L", "L", "L/pred", "dispatch"},
 	}
 	cat := hypergraph.Catalog()
 	s.addRows(t, len(cat), func(task int) [][]any {
 		e := cat[task]
+		in := gen.ForQuery(mpc.NewChildRng(s.Seed, task), e.Q, fig1N, fig1Dom)
+		res, err := engine.AutoRun(s.job(in, oracleCount(in)))
+		if err != nil {
+			panic(fmt.Sprintf("harness: fig1 %s: %v", e.Name, err))
+		}
 		return [][]any{{e.Name,
 			e.Q.IsAcyclic(),
 			e.Q.IsAcyclic() && e.Q.IsRHierarchical(),
 			e.Q.IsHierarchical(),
 			e.Q.IsTallFlat(),
 			e.Q.Classify().String(),
-			engine.Route(e.Q)}}
+			engine.Route(e.Q),
+			res.Algorithm,
+			res.Predicted,
+			res.Load,
+			stats.Ratio(res.Load, res.Predicted),
+			dispatchFlag(res.Load, res.Predicted)}}
 	})
 	return t
 }
@@ -111,7 +145,7 @@ func Fig3JoinOrder(s Scale) *Table {
 		Title: "Figure 3 — join order in the MPC Yannakakis algorithm (line-3)",
 		Note: fmt.Sprintf("p=%d; hard instance with OUT=8·IN; load = max tuples received by a server in a round",
 			s.P),
-		Header: []string{"instance", "algorithm", "IN", "OUT", "load L", "L/(IN/p)", "bound tracked"},
+		Header: []string{"instance", "algorithm", "IN", "OUT", "pred L", "load L", "L/pred", "L/(IN/p)", "bound tracked"},
 	}
 	algos := []struct {
 		algo  string
@@ -141,7 +175,8 @@ func Fig3JoinOrder(s Scale) *Table {
 			job := s.job(in, want)
 			job.Order = a.order
 			res := run(a.algo, job)
-			rows = append(rows, []any{f.label, a.label, inSize, want, res.Load,
+			rows = append(rows, []any{f.label, a.label, inSize, want, res.Predicted, res.Load,
+				stats.Ratio(res.Load, res.Predicted),
 				stats.Ratio(res.Load, stats.Linear(inSize, s.P)), a.bound})
 		}
 		return rows

@@ -120,8 +120,26 @@ func (s AttrSet) Minus(t AttrSet) AttrSet {
 	return out
 }
 
+// IntersectSize returns |s ∩ t| without materializing the intersection.
+func (s AttrSet) IntersectSize(t AttrSet) int {
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			n++
+			i++
+			j++
+		case s[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
 // Disjoint reports whether s ∩ t = ∅.
-func (s AttrSet) Disjoint(t AttrSet) bool { return len(s.Intersect(t)) == 0 }
+func (s AttrSet) Disjoint(t AttrSet) bool { return s.IntersectSize(t) == 0 }
 
 // Clone returns a copy of s.
 func (s AttrSet) Clone() AttrSet { return append(AttrSet(nil), s...) }

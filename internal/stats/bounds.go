@@ -3,7 +3,10 @@
 // load next to the bound it is supposed to track.
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Linear is the trivial floor IN/p (every algorithm starts at this load).
 func Linear(in, p int) float64 { return float64(in) / float64(p) }
@@ -53,10 +56,22 @@ func RHierOutputSimple(in int, out int64, p int) float64 {
 	return Linear(in, p) + math.Sqrt(float64(out)/float64(p))
 }
 
+// logClamped is the table-safe log term of the lower-bound denominators:
+// ln IN clamped to ≥ 1. Raw math.Log is 0 at IN=1 (dividing by it turns
+// the formula into ±Inf, or NaN once an OUT=0 numerator makes it 0/0, and
+// NaN propagates through math.Min into every report table) and -Inf at
+// IN=0; clamping keeps every bound finite on all IN ≥ 0.
+func logClamped(in int) float64 {
+	if in <= 2 {
+		return 1 // ln 2 ≈ 0.69 rounds up: log factors are ≥ 1 in the tables
+	}
+	return math.Log(float64(in))
+}
+
 // Line3Lower is the paper's Theorem 6 lower bound for the line-3 join:
 // Ω(min{√(IN·OUT/(p·log IN)), IN/√p}), stated for OUT ≥ IN.
 func Line3Lower(in int, out int64, p int) float64 {
-	a := math.Sqrt(float64(in) * float64(out) / (float64(p) * math.Log(float64(in))))
+	a := math.Sqrt(float64(in) * float64(out) / (float64(p) * logClamped(in)))
 	b := float64(in) / math.Sqrt(float64(p))
 	return math.Min(a, b)
 }
@@ -70,7 +85,7 @@ func WorstCaseLine(in, p int) float64 {
 // TriangleLower is the paper's Theorem 11 output-sensitive lower bound
 // Ω̃(min{IN/p + OUT/p, IN/p^{2/3}}).
 func TriangleLower(in int, out int64, p int) float64 {
-	a := Linear(in, p) + float64(out)/(float64(p)*math.Log(float64(in)))
+	a := Linear(in, p) + float64(out)/(float64(p)*logClamped(in))
 	b := float64(in) / math.Pow(float64(p), 2.0/3.0)
 	return math.Min(a, b)
 }
@@ -80,10 +95,23 @@ func TriangleWorstCase(in, p int) float64 {
 	return float64(in) / math.Pow(float64(p), 2.0/3.0)
 }
 
+// MaxCartesianRelations caps CartesianLower's subset enumeration. The
+// maximization ranges over all 2ⁿ−1 nonempty subsets, so past the cap the
+// loop is intractable long before n ≥ 63 silently wraps the `1 << n`
+// mask to zero iterations (returning 0 for a bound that is never 0 on
+// nonempty inputs). Callers with wider products must decompose first.
+const MaxCartesianRelations = 24
+
 // CartesianLower is equation (1): max_S (Π_{i∈S} N_i / p)^{1/|S|}.
+// It panics past MaxCartesianRelations relations rather than silently
+// wrapping the subset mask.
 func CartesianLower(sizes []int, p int) float64 {
 	best := 0.0
 	n := len(sizes)
+	if n > MaxCartesianRelations {
+		panic(fmt.Sprintf("stats: CartesianLower over %d relations (cap %d: the subset maximization is O(2^n) and its mask wraps at n=63)",
+			n, MaxCartesianRelations))
+	}
 	for mask := 1; mask < 1<<n; mask++ {
 		prod, cnt := 1.0, 0
 		for i := 0; i < n; i++ {
@@ -107,9 +135,12 @@ func PerServerOutputLower(out int64, p, m int) float64 {
 	return math.Pow(float64(out)/float64(p), 1/float64(m))
 }
 
-// Ratio guards against division blowups in report tables.
+// Ratio guards against division blowups in report tables. A NaN bound —
+// impossible from this package's own formulas, but reachable through
+// caller arithmetic — is treated like a zero bound rather than letting
+// NaN propagate into the rendered cell.
 func Ratio(measured int, bound float64) float64 {
-	if bound <= 0 {
+	if bound <= 0 || math.IsNaN(bound) {
 		return math.Inf(1)
 	}
 	return float64(measured) / bound

@@ -120,4 +120,89 @@ func TestRatio(t *testing.T) {
 	if !math.IsInf(Ratio(5, 0), 1) {
 		t.Error("Ratio by zero should be +Inf")
 	}
+	if !math.IsInf(Ratio(5, math.NaN()), 1) {
+		t.Error("Ratio against a NaN bound should be +Inf, not NaN")
+	}
+}
+
+// TestBoundsFiniteOnDegenerateInputs is the dispatcher's NaN-safety
+// contract: every bound formula returns a finite non-negative value on
+// every IN ≥ 0, OUT ≥ 0, so a degenerate instance (empty relations,
+// single tuples) can never poison an argmin with NaN or ±Inf. IN=1 is the
+// historical trap: log IN = 0 turned the lower-bound denominators into
+// divisions by zero (±Inf, and NaN at OUT=0 via 0/0).
+func TestBoundsFiniteOnDegenerateInputs(t *testing.T) {
+	bounds := []struct {
+		name string
+		eval func(in int, out int64, p int) float64
+	}{
+		{"Linear", func(in int, _ int64, p int) float64 { return Linear(in, p) }},
+		{"Yannakakis", Yannakakis},
+		{"BinaryJoinBound", BinaryJoinBound},
+		{"Acyclic", Acyclic},
+		{"RHierOutput", RHierOutput},
+		{"RHierOutputSimple", RHierOutputSimple},
+		{"Line3Lower", Line3Lower},
+		{"WorstCaseLine", func(in int, _ int64, p int) float64 { return WorstCaseLine(in, p) }},
+		{"TriangleLower", TriangleLower},
+		{"TriangleWorstCase", func(in int, _ int64, p int) float64 { return TriangleWorstCase(in, p) }},
+		{"CartesianLower", func(in int, _ int64, p int) float64 { return CartesianLower([]int{in, in}, p) }},
+		{"PerServerOutputLower", func(_ int, out int64, p int) float64 { return PerServerOutputLower(out, p, 2) }},
+	}
+	for _, b := range bounds {
+		for _, in := range []int{0, 1, 2, 3, 1000} {
+			for _, out := range []int64{0, 1, 2, 1000000} {
+				for _, p := range []int{1, 2, 64} {
+					got := b.eval(in, out, p)
+					if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+						t.Errorf("%s(IN=%d, OUT=%d, p=%d) = %v, want finite ≥ 0", b.name, in, out, p, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLowerBoundsAtINOne pins the clamped edge cases: at IN ∈ {0,1} the
+// log factor is 1, so the formulas evaluate without the ±Inf/NaN of a raw
+// log IN denominator, and OUT=0 gives 0 exactly.
+func TestLowerBoundsAtINOne(t *testing.T) {
+	if got := Line3Lower(1, 0, 64); got != 0 {
+		t.Errorf("Line3Lower(1, 0, 64) = %v, want 0", got)
+	}
+	if got := Line3Lower(0, 0, 64); got != 0 {
+		t.Errorf("Line3Lower(0, 0, 64) = %v, want 0", got)
+	}
+	// IN=1, OUT=64: min{√(1·64/(64·1)), 1/8} = 1/8.
+	if got := Line3Lower(1, 64, 64); got != 0.125 {
+		t.Errorf("Line3Lower(1, 64, 64) = %v, want 0.125", got)
+	}
+	// TriangleLower at IN=1: min{1/p + OUT/p, 1/p^{2/3}} with log factor 1.
+	if got, want := TriangleLower(1, 0, 64), 1.0/64; got != want {
+		t.Errorf("TriangleLower(1, 0, 64) = %v, want %v", got, want)
+	}
+	if got, want := TriangleLower(0, 0, 64), 0.0; got != want {
+		t.Errorf("TriangleLower(0, 0, 64) = %v, want %v", got, want)
+	}
+}
+
+// TestCartesianLowerCap is the mask-overflow regression: past the cap the
+// old `1 << n` subset mask would wrap (zero iterations at n=64 on 64-bit
+// ints — a silent 0 for a bound that is never 0 on nonempty inputs) after
+// an intractable 2ⁿ scan. The guard panics instead.
+func TestCartesianLowerCap(t *testing.T) {
+	at := make([]int, MaxCartesianRelations)
+	for i := range at {
+		at[i] = 2
+	}
+	if got := CartesianLower(at, 1); got <= 0 {
+		t.Errorf("CartesianLower at the cap = %v, want > 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("CartesianLower over %d relations should panic, not wrap the subset mask",
+				MaxCartesianRelations+1)
+		}
+	}()
+	CartesianLower(make([]int, MaxCartesianRelations+1), 64)
 }
